@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's exhibits via its
+``run_figNN`` function, prints the table, archives it under ``results/``,
+and asserts the paper's *shape* claims (who wins, roughly by how much).
+Absolute numbers differ from the paper — the substrate is a simulator, not
+the authors' Azure testbed — as recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def archive():
+    """Returns a callable that prints and archives an ExperimentResult."""
+
+    def _archive(result, precision: int = 3) -> None:
+        text = result.render(precision)
+        print()
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{result.name}.txt").write_text(text + "\n")
+
+    return _archive
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

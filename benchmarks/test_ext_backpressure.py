@@ -1,0 +1,26 @@
+"""Extension — ingestion back-pressure (bounded source mailboxes)."""
+
+from conftest import run_once
+
+from repro.experiments import run_ext_backpressure
+
+
+def test_ext_backpressure(benchmark, archive):
+    capacities = (None, 64, 16)
+    result = run_once(benchmark, lambda: run_ext_backpressure(capacities=capacities,
+                                                              duration=16.0))
+    archive(result)
+    unbounded = result.extras[None]
+    bounded = result.extras[16]
+    # the unbounded run really does pile up messages during bursts
+    assert unbounded["max_mailbox"] > 200
+    assert unbounded["blocked"] == 0
+    # the bound holds exactly and messages are actually held back
+    assert bounded["max_mailbox"] <= 16
+    assert bounded["blocked"] > 0
+    # work is conserved: every ingested tuple is processed either way
+    for capacity in capacities:
+        extras = result.extras[capacity]
+        assert extras["processed"] == extras["ingested"]
+    # and end-to-end latency is indistinguishable (same anchor, same order)
+    assert abs(bounded["p99"] - unbounded["p99"]) < 0.05 * unbounded["p99"] + 1e-9

@@ -1,0 +1,25 @@
+"""Extension — proactive prioritization (Cameo) vs reactive worker scaling."""
+
+from conftest import run_once
+
+from repro.experiments import run_ext_elasticity
+
+
+def test_ext_elasticity(benchmark, archive):
+    result = run_once(benchmark, lambda: run_ext_elasticity(duration=25.0))
+    archive(result)
+    static = result.extras["fifo static"]
+    reactive = result.extras["fifo reactive"]
+    cameo = result.extras["cameo static"]
+    # arrival-order scheduling on the base pool collapses under the bursts
+    assert static["success"] < 0.6
+    # reactive scaling spends real extra capacity...
+    assert reactive["worker_seconds"] > 1.2 * static["worker_seconds"]
+    assert reactive["events"] > 0
+    # ...and improves on static fifo
+    assert reactive["p50"] < static["p50"]
+    assert reactive["success"] >= static["success"]
+    # cameo needs no extra workers and still beats the reactive baseline
+    assert cameo["worker_seconds"] == static["worker_seconds"]
+    assert cameo["p50"] < reactive["p50"]
+    assert cameo["success"] >= reactive["success"]

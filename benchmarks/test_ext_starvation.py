@@ -1,0 +1,23 @@
+"""Extension — starvation prevention via deadline aging (§6.3 ablation)."""
+
+from conftest import run_once
+
+from repro.experiments import run_ext_starvation
+
+
+def test_ext_starvation(benchmark, archive):
+    aging = (0.0, 0.02, 0.05, 0.2)
+    result = run_once(benchmark, lambda: run_ext_starvation(aging_values=aging,
+                                                            duration=24.0))
+    archive(result)
+    waits = {a: result.extras[a]["ba_max_wait"] for a in aging}
+    success = {a: result.extras[a]["ls_success"] for a in aging}
+    # pure LLF starves the bulk job across whole bursts...
+    assert waits[0.0] > 15.0
+    # ...while a 5s deferral horizon bounds its wait to a few seconds
+    assert waits[0.2] < 0.5 * waits[0.0]
+    # bounded waits shrink monotonically as the horizon tightens
+    assert waits[0.2] <= waits[0.05] <= waits[0.02] <= waits[0.0] + 1e-9
+    # the latency-sensitive flood keeps (almost exactly) its success rate
+    for a in aging[1:]:
+        assert success[a] > 0.9 * success[0.0]

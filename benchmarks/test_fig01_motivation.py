@@ -1,0 +1,19 @@
+"""Figure 1 — utilization vs tail latency: slot-based vs Orleans vs Cameo."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig01
+
+
+def test_fig01_motivation(benchmark, archive):
+    result = run_once(benchmark, lambda: run_fig01(duration=25.0))
+    archive(result)
+    slot = result.extras["slot-based"]
+    orleans = result.extras["orleans"]
+    cameo = result.extras["cameo"]
+    # slot-based over-provisions: low utilization, decent latency
+    assert slot["utilization"] < 0.5 * cameo["utilization"]
+    # orleans and cameo share resources equally...
+    assert abs(orleans["utilization"] - cameo["utilization"]) < 0.05
+    # ...but cameo's tail is far lower (high util AND low latency)
+    assert cameo["p99"] < 0.6 * orleans["p99"]

@@ -1,0 +1,17 @@
+"""Figure 2 — production workload characterisation (synthetic trace)."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig02
+
+
+def test_fig02_workload(benchmark, archive):
+    result = run_once(benchmark, run_fig02)
+    archive(result)
+    # (a) a small fraction of streams carries most of the volume
+    assert result.extras["top10_share"] > 0.5
+    # (b) micro-batch overhead approaches ~80% for the shortest jobs
+    assert result.extras["max_overhead"] > 0.6
+    # (c) spikes and idle periods are both present
+    assert result.extras["spike_ratio"] > 10.0
+    assert 0.05 < result.extras["idle_fraction"] < 0.6

@@ -1,0 +1,23 @@
+"""Figure 4 — the Section 3 scheduling example (fair vs topo vs semantics)."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig04
+
+
+def test_fig04_example(benchmark, archive):
+    result = run_once(benchmark, lambda: run_fig04(duration=30.0))
+    archive(result)
+    extras = result.extras
+    # both fair-share schedules violate J2's constraint...
+    assert extras["fair-small-q"]["j2_success"] < 0.5
+    assert extras["fair-large-q"]["j2_success"] < 0.5
+    # ...and a larger quantum makes the tail worse
+    assert extras["fair-large-q"]["j2_p99"] > extras["fair-small-q"]["j2_p99"]
+    # topology awareness already rescues J2; semantics keeps it rescued
+    assert extras["cameo-topology"]["j2_success"] > 0.9
+    assert extras["cameo-semantics"]["j2_success"] > 0.9
+    # and deadline-aware schedules beat fair-share on J2's tail outright
+    assert extras["cameo-semantics"]["j2_p99"] < extras["fair-small-q"]["j2_p99"]
+    # semantics never treats the batch job worse than topology-only (10% slack)
+    assert extras["cameo-semantics"]["j1_p50"] <= 1.1 * extras["cameo-topology"]["j1_p50"]

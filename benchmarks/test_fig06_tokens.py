@@ -1,0 +1,23 @@
+"""Figure 6 — token-based proportional fair sharing (20/40/40)."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import run_fig06
+
+
+def test_fig06_tokens(benchmark, archive):
+    result = run_once(benchmark, lambda: run_fig06(stagger=20.0, job_duration=80.0))
+    archive(result)
+    alone = result.extras["df1 alone"]
+    both = result.extras["df1+df2"]
+    all_three = result.extras["all three"]
+    # dataflow 1 gets the whole cluster while alone
+    assert alone[0] > 0.95
+    # below capacity two equal-demand jobs split evenly
+    assert both[0] == pytest.approx(0.5, abs=0.1)
+    assert both[1] == pytest.approx(0.5, abs=0.1)
+    # at capacity the split approaches the 20/40/40 token allocation
+    assert all_three[0] == pytest.approx(0.2, abs=0.06)
+    assert all_three[1] == pytest.approx(0.4, abs=0.08)
+    assert all_three[2] == pytest.approx(0.4, abs=0.08)

@@ -1,0 +1,31 @@
+"""Figure 7 — single-tenant latency for IPQ1-IPQ4 under each scheduler."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig07
+
+
+def test_fig07_single_tenant(benchmark, archive):
+    result = run_once(benchmark, lambda: run_fig07(duration=25.0))
+    archive(result)
+    extras = result.extras
+    for query in ("IPQ1", "IPQ2", "IPQ3"):
+        cameo = extras[(query, "cameo")]
+        orleans = extras[(query, "orleans")]
+        fifo = extras[(query, "fifo")]
+        # cameo's median never loses, its tail clearly wins
+        assert cameo.p50 <= 1.05 * min(orleans.p50, fifo.p50)
+        assert cameo.p99 <= orleans.p99
+        assert cameo.p99 <= fifo.p99
+    # at least one query shows a pronounced (>=1.5x) tail improvement
+    gains = [
+        extras[(q, "orleans")].p99 / extras[(q, "cameo")].p99
+        for q in ("IPQ1", "IPQ2", "IPQ3")
+    ]
+    assert max(gains) >= 1.5
+    # IPQ4 (heavy, memory-bound): orleans stays competitive (paper §6.1)
+    ipq4_ratio = extras[("IPQ4", "orleans")].p50 / extras[("IPQ4", "cameo")].p50
+    assert ipq4_ratio < 1.5
+    # the schedule timeline (panel c) was captured for IPQ1
+    assert extras[("timeline", "cameo")]
+    assert extras[("cdf", "cameo")]

@@ -1,0 +1,55 @@
+"""Figure 8 — LS jobs under competing BA load: rate, tenants, workers."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig08a, run_fig08b, run_fig08c
+
+
+def test_fig08a_ingestion_rate(benchmark, archive):
+    rates = (20.0, 60.0, 100.0)
+    result = run_once(benchmark, lambda: run_fig08a(rates=rates, duration=25.0))
+    archive(result)
+    low, high = rates[0], rates[-1]
+    # below saturation all schedulers are comparable (within 3x)
+    for scheduler in ("orleans", "fifo"):
+        assert result.extras[(low, scheduler)]["ls"]["p50"] < (
+            3.0 * result.extras[(low, "cameo")]["ls"]["p50"]
+        )
+    # beyond saturation cameo stays stable, baselines degrade at median+tail
+    cameo_hi = result.extras[(high, "cameo")]["ls"]
+    for scheduler in ("orleans", "fifo"):
+        other = result.extras[(high, scheduler)]["ls"]
+        assert other["p50"] > 1.3 * cameo_hi["p50"]
+        assert other["p99"] > 1.3 * cameo_hi["p99"]
+    # cameo's own latency stays flat across the sweep (within 2x of low rate)
+    assert cameo_hi["p50"] < 2.0 * result.extras[(low, "cameo")]["ls"]["p50"]
+
+
+def test_fig08b_tenant_count(benchmark, archive):
+    counts = (2, 6, 10)
+    result = run_once(benchmark, lambda: run_fig08b(tenant_counts=counts,
+                                                    duration=25.0))
+    archive(result)
+    high = counts[-1]
+    cameo = result.extras[(high, "cameo")]["ls"]
+    for scheduler in ("orleans", "fifo"):
+        other = result.extras[(high, scheduler)]["ls"]
+        assert other["p99"] > 1.3 * cameo["p99"]
+    # fifo's tail degrades worst as tenants pile up (paper: up to 13.6x)
+    assert result.extras[(high, "fifo")]["ls"]["p99"] >= (
+        0.8 * result.extras[(high, "orleans")]["ls"]["p99"]
+    )
+
+
+def test_fig08c_worker_pool(benchmark, archive):
+    workers = (4, 2, 1)
+    result = run_once(benchmark, lambda: run_fig08c(worker_counts=workers,
+                                                    duration=25.0))
+    archive(result)
+    # with the most restrictive pool, cameo still meets most LS deadlines
+    cameo_small = result.extras[(1, "cameo")]["ls"]
+    assert cameo_small["success"] > 0.8
+    for scheduler in ("orleans", "fifo"):
+        other = result.extras[(1, scheduler)]["ls"]
+        assert cameo_small["success"] >= other["success"]
+        assert other["p99"] > cameo_small["p99"]

@@ -1,0 +1,22 @@
+"""Figure 9 — latency under Pareto (heavy-tailed) event volume."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig09
+
+
+def test_fig09_pareto(benchmark, archive):
+    result = run_once(benchmark, lambda: run_fig09(duration=30.0))
+    archive(result)
+    cameo = result.extras[("cameo", "LS")]
+    orleans = result.extras[("orleans", "LS")]
+    fifo = result.extras[("fifo", "LS")]
+    # cameo's LS latency is lower at the median and far lower at the tail
+    assert cameo["p50"] <= orleans["p50"]
+    assert cameo["p99"] < 0.75 * orleans["p99"]
+    assert cameo["p99"] < 0.75 * fifo["p99"]
+    # cameo is also far more *stable* (paper: 12-23x lower std dev)
+    assert cameo["std"] < orleans["std"]
+    assert cameo["std"] < fifo["std"]
+    # timelines exist for the stability panels
+    assert result.extras[("timeline", "cameo")]

@@ -1,0 +1,24 @@
+"""Figure 10 — spatial ingestion skew: deadline success rates."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig10
+
+
+def test_fig10_skew(benchmark, archive):
+    result = run_once(benchmark, lambda: run_fig10(duration=25.0))
+    archive(result)
+    cameo = result.extras["cameo"]
+    fifo = result.extras["fifo"]
+    orleans = result.extras["orleans"]
+    # the trace really is heavily skewed
+    assert result.extras["skew_ratio"] > 100.0
+    # cameo sustains the highest success rates on both workload types
+    assert cameo["type1"] >= fifo["type1"]
+    assert cameo["type1"] > orleans["type1"]
+    assert cameo["type2"] >= fifo["type2"]
+    assert cameo["type2"] > orleans["type2"]
+    # and is strictly better than orleans overall by a wide margin
+    assert cameo["type1"] + cameo["type2"] > 1.5 * (
+        orleans["type1"] + orleans["type2"]
+    )

@@ -1,0 +1,38 @@
+"""Figure 11 — pluggable policies: LLF vs EDF vs SJF."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig11_multi, run_fig11_single
+
+
+def test_fig11_single_query(benchmark, archive):
+    result = run_once(benchmark, lambda: run_fig11_single(duration=25.0))
+    archive(result)
+    extras = result.extras
+    for query in ("IPQ1", "IPQ2", "IPQ3"):
+        llf = extras[(query, "llf")]
+        edf = extras[(query, "edf")]
+        sjf = extras[(query, "sjf")]
+        # EDF and LLF are comparable (within 25% at median)
+        assert abs(llf.p50 - edf.p50) < 0.25 * max(llf.p50, edf.p50)
+        # SJF never beats LLF's tail meaningfully
+        assert sjf.p99 >= 0.9 * llf.p99
+    # and on at least one query SJF is clearly worse
+    assert any(
+        extras[(q, "sjf")].p99 > 1.2 * extras[(q, "llf")].p99
+        for q in ("IPQ1", "IPQ2", "IPQ3")
+    )
+    # IPQ4's light queueing hides the difference (paper's exception)
+    ipq4 = [extras[("IPQ4", p)].p50 for p in ("llf", "edf", "sjf")]
+    assert max(ipq4) < 1.5 * min(ipq4)
+
+
+def test_fig11_multi_query(benchmark, archive):
+    result = run_once(benchmark, lambda: run_fig11_multi(duration=25.0))
+    archive(result)
+    llf = result.extras["llf"]["ls"]
+    edf = result.extras["edf"]["ls"]
+    sjf = result.extras["sjf"]["ls"]
+    # deadline-aware policies hold the LS tail; SJF does not
+    assert sjf["p99"] > 1.2 * llf["p99"]
+    assert abs(llf["p50"] - edf["p50"]) < 0.3 * max(llf["p50"], edf["p50"])

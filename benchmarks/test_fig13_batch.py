@@ -1,0 +1,19 @@
+"""Figure 13 — effect of message batch size at constant tuple rate."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig13
+
+
+def test_fig13_batch_size(benchmark, archive):
+    batches = (1000, 5000, 20000, 40000)
+    result = run_once(benchmark, lambda: run_fig13(batch_sizes=batches,
+                                                   duration=25.0))
+    archive(result)
+    p99 = {b: result.extras[b]["p99"] for b in batches}
+    p50 = {b: result.extras[b]["p50"] for b in batches}
+    # LS latency is roughly unaffected through moderate batch sizes
+    assert p50[5000] < 1.6 * p50[1000]
+    # and degrades clearly at the largest batch (paper: degrades at 40K)
+    assert p99[40000] > 1.5 * p99[1000]
+    assert p50[40000] > p50[1000]

@@ -1,0 +1,22 @@
+"""Figure 14 — scheduling quantum sweep, clustered vs interleaved triggers."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig14
+
+
+def test_fig14_quantum(benchmark, archive):
+    quanta = (0.0, 0.001, 0.01, 0.1)
+    result = run_once(benchmark, lambda: run_fig14(quanta=quanta, duration=25.0))
+    archive(result)
+    for pattern in ("clustered", "interleaved"):
+        by_quantum = {q: result.extras[(pattern, q)] for q in quanta}
+        # a very large quantum (100 ms) hurts via head-of-line blocking:
+        # the tail blows up against the message-granularity quantum
+        assert by_quantum[0.1]["p99"] > 2.0 * by_quantum[0.001]["p99"]
+        assert by_quantum[0.1]["p50"] > by_quantum[0.001]["p50"]
+        # the finest grain burns capacity in operator switches
+        assert by_quantum[0.0]["switches"] > by_quantum[0.01]["switches"]
+        assert by_quantum[0.01]["switches"] > by_quantum[0.1]["switches"]
+        # in an event-driven substrate quantum 0 ~ one-message quantum
+        assert by_quantum[0.0]["p99"] < 1.3 * by_quantum[0.001]["p99"]

@@ -1,0 +1,21 @@
+"""Figure 15 — benefit of query-semantics awareness (ablation)."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig15
+
+
+def test_fig15_semantics(benchmark, archive):
+    result = run_once(benchmark, lambda: run_fig15(duration=25.0))
+    archive(result)
+    full = result.extras["cameo"]
+    ablated = result.extras["cameo-no-semantics"]
+    fifo = result.extras["fifo"]
+    orleans = result.extras["orleans"]
+    # dropping semantics never helps, and costs BA median latency
+    # (paper: ~19% group-2 median increase); allow generous tolerance
+    assert ablated["ba"]["p50"] >= 0.95 * full["ba"]["p50"]
+    # both cameo variants still beat the baselines for the LS group
+    for baseline in (fifo, orleans):
+        assert full["ls"]["p50"] < baseline["ls"]["p50"]
+        assert ablated["ls"]["p50"] < baseline["ls"]["p50"]

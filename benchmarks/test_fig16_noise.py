@@ -1,0 +1,20 @@
+"""Figure 16 — robustness to profiling inaccuracy."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig16
+
+
+def test_fig16_profiling_noise(benchmark, archive):
+    sigmas = (0.0, 0.001, 0.1, 1.0)
+    result = run_once(benchmark, lambda: run_fig16(sigmas=sigmas, duration=25.0))
+    archive(result)
+    clean = result.extras[0.0]
+    # median latency is stable across the whole sigma range
+    for sigma in sigmas[1:]:
+        assert result.extras[sigma]["p50"] < 1.5 * clean["p50"]
+    # small perturbations (<= 100 ms) barely move the tail
+    assert result.extras[0.001]["p99"] < 1.3 * clean["p99"]
+    assert result.extras[0.1]["p99"] < 1.6 * clean["p99"]
+    # success rate stays high even at sigma = window size
+    assert result.extras[1.0]["success"] > 0.8

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Proportional fair sharing with the token policy (§5.4 / Fig. 6).
+
+Three identical pipelines are granted 20% / 40% / 40% of the cluster's
+token budget and arrive staggered in time, each demanding more than its
+share.  The script prints each dataflow's consumed throughput over time:
+the first job gets the whole machine while alone, and once the cluster is
+at capacity the throughput split converges to the token allocation.
+
+Run:  python examples/fair_sharing_tokens.py
+"""
+
+from repro import EngineConfig, StreamEngine
+from repro.metrics import format_table
+from repro.workloads import (
+    FixedBatchSize,
+    PeriodicArrivals,
+    drive_all_sources,
+    make_aggregation_job,
+)
+
+STAGGER = 25.0       # seconds between job arrivals
+JOB_DURATION = 100.0
+TOKEN_RATES = {"alpha": 86.0, "beta": 172.0, "gamma": 172.0}  # 20/40/40
+DEMAND_RATE = 220.0  # messages/s per source, above every share
+
+
+def main() -> None:
+    jobs = [
+        make_aggregation_job(name, group="BA", source_count=1, window=1.0,
+                             agg_parallelism=1, latency_constraint=3600.0,
+                             token_rate=rate)
+        for name, rate in TOKEN_RATES.items()
+    ]
+    config = EngineConfig(
+        scheduler="cameo",
+        policy="token",
+        policy_kwargs={"rates": TOKEN_RATES},
+        nodes=1,
+        workers_per_node=1,
+        seed=11,
+    )
+    engine = StreamEngine(config, jobs)
+    for i, job in enumerate(jobs):
+        start = STAGGER * i
+        drive_all_sources(engine, job, lambda s, idx: PeriodicArrivals(1.0 / DEMAND_RATE),
+                          sizer=FixedBatchSize(1000), start=start,
+                          until=start + JOB_DURATION)
+    horizon = STAGGER * (len(jobs) - 1) + JOB_DURATION
+    engine.run(until=horizon + 5.0)
+
+    bucket = 10.0
+    series = {job.name: dict(engine.metrics.job(job.name).source_rate_timeline(bucket))
+              for job in jobs}
+    rows = []
+    time = 0.0
+    while time < horizon:
+        rates = [series[job.name].get(time, 0.0) for job in jobs]
+        total = sum(rates)
+        shares = [r / total if total else 0.0 for r in rates]
+        rows.append([f"{time:.0f}-{time + bucket:.0f}s",
+                     *(f"{s:.2f}" for s in shares), f"{total:,.0f}"])
+        time += bucket
+    print(format_table(
+        ["window", *(f"{name} share" for name in TOKEN_RATES), "total events/s"],
+        rows,
+        title="Throughput shares under 20/40/40 token allocation",
+    ))
+
+
+if __name__ == "__main__":
+    main()

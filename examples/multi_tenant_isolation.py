@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Multi-tenant performance isolation — the paper's headline scenario.
+
+Four latency-sensitive dashboard jobs (1 s windows, 800 ms targets) share a
+small cluster with four bulk-analytics jobs (10 s windows, effectively
+unconstrained) that ingest ~60x more data.  The same workload runs under
+the default-Orleans, FIFO and Cameo schedulers; the table shows how each
+treats the latency-sensitive group once the cluster is near saturation.
+
+Run:  python examples/multi_tenant_isolation.py
+"""
+
+from repro import EngineConfig, StreamEngine
+from repro.metrics import format_table
+from repro.workloads import (
+    FixedBatchSize,
+    PeriodicArrivals,
+    drive_all_sources,
+    make_bulk_analytics_job,
+    make_latency_sensitive_job,
+)
+
+DURATION = 40.0
+BA_MSG_RATE = 90.0  # messages/s per bulk-analytics source
+
+
+def run(scheduler: str):
+    ls_jobs = [make_latency_sensitive_job(f"dashboard-{i}", source_count=4)
+               for i in range(4)]
+    ba_jobs = [make_bulk_analytics_job(f"analytics-{i}", source_count=4)
+               for i in range(4)]
+    engine = StreamEngine(
+        EngineConfig(scheduler=scheduler, nodes=2, workers_per_node=2, seed=7),
+        ls_jobs + ba_jobs,
+    )
+    for job in ls_jobs:
+        drive_all_sources(engine, job, lambda s, i: PeriodicArrivals(1.0),
+                          sizer=FixedBatchSize(1000), until=DURATION)
+    for job in ba_jobs:
+        drive_all_sources(engine, job, lambda s, i: PeriodicArrivals(1.0 / BA_MSG_RATE),
+                          sizer=FixedBatchSize(1000), until=DURATION)
+    engine.run(until=DURATION + 5.0)
+    return engine
+
+
+def main() -> None:
+    rows = []
+    for scheduler in ("orleans", "fifo", "cameo"):
+        engine = run(scheduler)
+        ls = engine.metrics.group_summary("LS")
+        ba = engine.metrics.group_summary("BA")
+        rows.append([
+            scheduler,
+            ls.p50 * 1e3,
+            ls.p99 * 1e3,
+            engine.metrics.group_success_rate("LS"),
+            ba.p50 * 1e3,
+            engine.metrics.utilization(DURATION + 5.0),
+        ])
+    print(format_table(
+        ["scheduler", "LS p50 (ms)", "LS p99 (ms)", "LS success",
+         "BA p50 (ms)", "utilization"],
+        rows,
+        title="4 latency-sensitive + 4 bulk-analytics tenants, shared cluster",
+    ))
+    print("\nCameo keeps the dashboards' latency flat at the same utilization;")
+    print("the arrival-order schedulers let bulk traffic crowd them out.")
+
+
+if __name__ == "__main__":
+    main()

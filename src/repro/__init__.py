@@ -1,0 +1,42 @@
+"""repro — reproduction of Cameo (NSDI 2021).
+
+Fine-grained, deadline-aware scheduling for multi-tenant stream processing,
+reproduced on a deterministic discrete-event simulation of an actor-based
+streaming cluster.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the paper-vs-measured results.
+
+Quickstart::
+
+    from repro import EngineConfig, StreamEngine
+    from repro.workloads import make_latency_sensitive_job, drive_all_sources, PeriodicArrivals
+
+    job = make_latency_sensitive_job("demo")
+    engine = StreamEngine(EngineConfig(scheduler="cameo"), [job])
+    drive_all_sources(engine, job, lambda stage, i: PeriodicArrivals(1.0), until=30.0)
+    engine.run(until=35.0)
+    print(engine.metrics.job("demo").summary())
+"""
+
+from repro.dataflow import (
+    CostModel,
+    DataflowGraph,
+    EventBatch,
+    JobSpec,
+    StageSpec,
+    WindowSpec,
+)
+from repro.runtime import EngineConfig, StreamEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "DataflowGraph",
+    "EngineConfig",
+    "EventBatch",
+    "JobSpec",
+    "StageSpec",
+    "StreamEngine",
+    "WindowSpec",
+    "__version__",
+]

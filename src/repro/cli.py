@@ -1,0 +1,98 @@
+"""Command-line entry point: rerun any reproduced figure.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig09
+    python -m repro.cli fig08a --out results/
+    python -m repro.cli all
+
+Each figure runs with its benchmark defaults and prints the same table the
+corresponding ``benchmarks/test_figNN_*.py`` archives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro import experiments
+
+RUNNERS = {
+    "fig01": experiments.run_fig01,
+    "fig02": experiments.run_fig02,
+    "fig04": experiments.run_fig04,
+    "fig06": experiments.run_fig06,
+    "fig07": experiments.run_fig07,
+    "fig08a": experiments.run_fig08a,
+    "fig08b": experiments.run_fig08b,
+    "fig08c": experiments.run_fig08c,
+    "fig09": experiments.run_fig09,
+    "fig10": experiments.run_fig10,
+    "fig11a": experiments.run_fig11_single,
+    "fig11b": experiments.run_fig11_multi,
+    "fig12": experiments.run_fig12,
+    "fig13": experiments.run_fig13,
+    "fig14": experiments.run_fig14,
+    "fig15": experiments.run_fig15,
+    "fig16": experiments.run_fig16,
+    "ext_starvation": experiments.run_ext_starvation,
+    "ext_backpressure": experiments.run_ext_backpressure,
+    "ext_elasticity": experiments.run_ext_elasticity,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Regenerate figures from the Cameo (NSDI 2021) reproduction.",
+    )
+    parser.add_argument(
+        "figure",
+        help="figure id (e.g. fig09), 'all', or 'list' to enumerate",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="also write the rendered table(s) to DIR/<figure>.txt",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="with --out, additionally write DIR/<figure>.json",
+    )
+    parser.add_argument("--precision", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    if args.figure == "list":
+        for name in RUNNERS:
+            print(name)
+        return 0
+
+    names = list(RUNNERS) if args.figure == "all" else [args.figure]
+    unknown = [n for n in names if n not in RUNNERS]
+    if unknown:
+        parser.error(f"unknown figure(s): {', '.join(unknown)}; try 'list'")
+
+    for name in names:
+        started = time.perf_counter()
+        result = RUNNERS[name]()
+        elapsed = time.perf_counter() - started
+        text = result.render(args.precision)
+        print(text)
+        print(f"({elapsed:.1f}s)\n")
+        if args.out:
+            directory = pathlib.Path(args.out)
+            directory.mkdir(parents=True, exist_ok=True)
+            (directory / f"{result.name}.txt").write_text(text + "\n")
+            if args.json:
+                from repro.metrics.export import result_to_json
+
+                (directory / f"{result.name}.json").write_text(
+                    result_to_json(result) + "\n"
+                )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

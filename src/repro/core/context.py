@@ -1,0 +1,111 @@
+"""Scheduling contexts (§5.1).
+
+Two kinds of contexts travel with messages:
+
+* :class:`PriorityContext` (PC) flows *downstream*, attached to data
+  messages.  It carries the local/global priority pair the scheduler orders
+  by, plus the dataflow-defined fields the pluggable policy needs
+  (``p_MF``, ``t_MF``, ``L`` — §5.3).
+* :class:`ReplyContext` (RC) flows *upstream*, attached to acknowledgement
+  messages.  It carries profiled costs: ``C_m`` of the replying operator and
+  ``C_path``, the critical-path cost of everything downstream of it.
+
+Contexts are plain data; all interpretation happens in the context
+converter and the scheduler, which keeps both of those stateless with
+respect to jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+#: Global priority assigned to messages that must never outrank tokened
+#: traffic (token policy, §5.4).  Lower value = higher priority throughout,
+#: so "minimum priority" is +inf.
+MIN_PRIORITY = float("inf")
+
+
+@dataclass
+class PriorityContext:
+    """Priority context attached to a message before it is sent.
+
+    Attributes:
+        msg_id: id of the message the PC belongs to.
+        pri_local: orders messages *within* an operator (``p_MF`` under the
+            deadline policies; interval id under the token policy).
+        pri_global: orders operators against each other (the start deadline
+            ``ddl_M`` under LLF/EDF; cost under SJF; token tag under the
+            token policy).
+        p_mf: frontier progress — logical time that triggers the target.
+        t_mf: frontier time — wall-clock estimate of when the frontier
+            progress is fully observed.
+        latency_constraint: the job's end-to-end target ``L``.
+        deadline: the computed start deadline (kept for violation metrics).
+        token_interval: interval id for the token policy (optional).
+    """
+
+    msg_id: int = -1
+    pri_local: float = 0.0
+    pri_global: float = 0.0
+    p_mf: float = 0.0
+    t_mf: float = 0.0
+    latency_constraint: float = float("inf")
+    deadline: float = float("inf")
+    token_interval: int = -1
+
+    def copy(self) -> "PriorityContext":
+        """PCs are inherited (copied, then modified) by downstream messages."""
+        return replace(self)
+
+    @property
+    def priority_pair(self) -> tuple[float, float]:
+        return (self.pri_local, self.pri_global)
+
+
+@dataclass
+class ReplyContext:
+    """Reply context carried upstream on an acknowledgement (§5.1, Alg. 1).
+
+    ``c_m`` is the profiled execution cost of the *replying* operator;
+    ``c_path`` is the max critical-path cost strictly downstream of it.
+    The upstream operator therefore computes deadlines for messages it sends
+    to this operator as ``t_MF + L − c_m − c_path`` (Alg. 1 line 17).
+
+    The scheduler also populates runtime statistics before the reply is
+    delivered (queueing delay, mailbox size) — §5.2 step 6.
+    """
+
+    c_m: float = 0.0
+    c_path: float = 0.0
+    queueing_delay: float = 0.0
+    mailbox_size: int = 0
+
+    @property
+    def downstream_cost(self) -> float:
+        """Total cost from (and including) the replying operator to a sink."""
+        return self.c_m + self.c_path
+
+
+@dataclass
+class ReplyState:
+    """Per-downstream-stage RC aggregate held by a context converter.
+
+    The converter keeps the most recent RC per downstream stage; the
+    effective ``C_path`` of the holder is the max over downstream stages of
+    ``c_m + c_path`` (critical path = max over paths, Eq. 2).
+    """
+
+    by_stage: dict[str, ReplyContext] = field(default_factory=dict)
+
+    def update(self, stage_name: str, rc: ReplyContext) -> None:
+        self.by_stage[stage_name] = rc
+
+    def get(self, stage_name: str) -> Optional[ReplyContext]:
+        return self.by_stage.get(stage_name)
+
+    def max_downstream_cost(self) -> float:
+        """Max over downstream stages of ``c_m + c_path`` (0 at a sink)."""
+        if not self.by_stage:
+            return 0.0
+        return max(rc.downstream_cost for rc in self.by_stage.values())

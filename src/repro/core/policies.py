@@ -1,0 +1,128 @@
+"""Pluggable scheduling policies (§4, §6.3).
+
+A policy turns the information gathered by the context converter into the
+``(PRI_local, PRI_global)`` pair the two-level scheduler orders by.  Lower
+values mean higher priority.
+
+* **LLF** (default): global priority is the start deadline *including* the
+  target's own cost — least laxity first (Eq. 3).
+* **EDF**: omits the target's execution cost ``C_oM`` (§4.2.2).
+* **SJF**: global priority is the target's execution cost alone — not
+  deadline-aware, included for comparison (Fig. 11).
+
+The token-based proportional-fair policy lives in :mod:`repro.core.tokens`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.context import PriorityContext
+from repro.core.deadline import start_deadline
+
+
+@dataclass
+class PriorityRequest:
+    """Everything a policy may consult when assigning a priority."""
+
+    now: float
+    p_mf: float
+    t_mf: float
+    t_m: float
+    latency_constraint: float
+    c_m: float
+    c_path: float
+    at_source: bool
+    job_name: str
+    source_index: int = 0
+    tuple_count: int = 0
+    inherited: Optional[PriorityContext] = None
+
+    @property
+    def llf_deadline(self) -> float:
+        """Eq. 3 deadline (used by metrics regardless of active policy)."""
+        return start_deadline(self.t_mf, self.latency_constraint, self.c_m, self.c_path)
+
+
+class SchedulingPolicy:
+    """Base policy.  Subclasses implement :meth:`assign`."""
+
+    name = "abstract"
+
+    def assign(self, request: PriorityRequest) -> tuple[float, float]:
+        """Return ``(pri_local, pri_global)`` for the message."""
+        raise NotImplementedError
+
+
+class LeastLaxityFirstPolicy(SchedulingPolicy):
+    """LLF: prioritize the message whose start deadline is earliest,
+    accounting for the target operator's own execution cost."""
+
+    name = "llf"
+
+    def assign(self, request: PriorityRequest) -> tuple[float, float]:
+        deadline = start_deadline(
+            request.t_mf, request.latency_constraint, request.c_m, request.c_path
+        )
+        return (request.p_mf, deadline)
+
+
+class EarliestDeadlineFirstPolicy(SchedulingPolicy):
+    """EDF: the paper's variant considers the deadline *prior to* the
+    operator executing, i.e. drops the ``C_oM`` term from Eq. 3."""
+
+    name = "edf"
+
+    def assign(self, request: PriorityRequest) -> tuple[float, float]:
+        deadline = start_deadline(request.t_mf, request.latency_constraint, 0.0, request.c_path)
+        return (request.p_mf, deadline)
+
+
+class ShortestJobFirstPolicy(SchedulingPolicy):
+    """SJF: ``ddl_M = C_oM`` (§4.2.2) — deadline-unaware baseline policy."""
+
+    name = "sjf"
+
+    def assign(self, request: PriorityRequest) -> tuple[float, float]:
+        return (request.p_mf, request.c_m)
+
+
+class ConstantPolicy(SchedulingPolicy):
+    """Assigns a fixed priority to every message.
+
+    Used by the overhead experiment (Fig. 12) to isolate the cost of
+    priority *scheduling* from the cost of priority *generation*: the
+    two-level queue machinery runs, but no deadline arithmetic does.
+    """
+
+    name = "constant"
+
+    def __init__(self, pri_local: float = 0.0, pri_global: float = 0.0):
+        self._pair = (pri_local, pri_global)
+
+    def assign(self, request: PriorityRequest) -> tuple[float, float]:
+        return self._pair
+
+
+_POLICY_FACTORIES = {
+    "llf": LeastLaxityFirstPolicy,
+    "edf": EarliestDeadlineFirstPolicy,
+    "sjf": ShortestJobFirstPolicy,
+    "constant": ConstantPolicy,
+}
+
+
+def make_policy(name: str, **kwargs) -> SchedulingPolicy:
+    """Policy factory.  ``token`` is constructed via :mod:`repro.core.tokens`."""
+    if name == "token":
+        from repro.core.tokens import TokenFairPolicy
+
+        return TokenFairPolicy(**kwargs)
+    factory = _POLICY_FACTORIES.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown policy {name!r}; expected one of "
+            f"{sorted([*_POLICY_FACTORIES, 'token'])}"
+        )
+    return factory(**kwargs)

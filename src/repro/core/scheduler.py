@@ -1,0 +1,230 @@
+"""The two-level stateless scheduler (§5.2, Fig. 5b).
+
+Level 1: operators with pending messages, ordered by the *global* priority
+of each operator's next message.  Level 2: within an operator, messages
+ordered by *local* priority.  The scheduler holds no per-job state — every
+ordering decision reads only the priority pair stamped on messages by the
+context converters — which is what lets it scale with message volume.
+
+This module defines the mailbox types, the run-queue interface shared with
+the baseline schedulers (:mod:`repro.runtime.baselines`), and Cameo's
+priority run queue.  Operators are duck-typed: a run queue only touches
+``mailbox``, ``busy``, ``queue_token`` and ``in_queue``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Optional
+
+from repro.dataflow.messages import Message
+
+
+class Mailbox:
+    """Per-operator pending-message container (level 2)."""
+
+    def push(self, msg: Message) -> None:
+        raise NotImplementedError
+
+    def pop(self) -> Message:
+        raise NotImplementedError
+
+    def head_global_priority(self) -> float:
+        """Global priority of the message :meth:`pop` would return next."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+    def head_message(self) -> Message:
+        """The message :meth:`pop` would return next."""
+        raise NotImplementedError
+
+
+class FifoMailbox(Mailbox):
+    """Arrival-order mailbox (both baselines; §6: "an operator processes
+    its messages in FIFO order")."""
+
+    def __init__(self):
+        self._queue: deque[Message] = deque()
+
+    def push(self, msg: Message) -> None:
+        self._queue.append(msg)
+
+    def pop(self) -> Message:
+        return self._queue.popleft()
+
+    def head_message(self) -> Message:
+        if not self._queue:
+            raise IndexError("mailbox is empty")
+        return self._queue[0]
+
+    def head_global_priority(self) -> float:
+        msg = self.head_message()
+        return msg.pc.pri_global if msg.pc is not None else 0.0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class PriorityMailbox(Mailbox):
+    """Local-priority mailbox (Cameo).  Ties broken by arrival sequence so
+    equal-priority messages keep FIFO order (determinism)."""
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, Message]] = []
+        self._seq = 0
+
+    def push(self, msg: Message) -> None:
+        if msg.pc is None:
+            raise ValueError("a PriorityMailbox requires messages with a PriorityContext")
+        heapq.heappush(self._heap, (msg.pc.pri_local, self._seq, msg))
+        self._seq += 1
+
+    def pop(self) -> Message:
+        return heapq.heappop(self._heap)[2]
+
+    def head_message(self) -> Message:
+        if not self._heap:
+            raise IndexError("mailbox is empty")
+        return self._heap[0][2]
+
+    def head_global_priority(self) -> float:
+        return self.head_message().pc.pri_global
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class RunQueue:
+    """Level-1 interface.  ``worker_id`` parameters exist for schedulers
+    with thread affinity (Orleans); others ignore them."""
+
+    def create_mailbox(self) -> Mailbox:
+        raise NotImplementedError
+
+    def notify(self, op: Any, now: float, worker_hint: Optional[int] = None) -> None:
+        """A message was just pushed to ``op``'s mailbox; make sure the
+        operator is (re)queued if it is not currently executing."""
+        raise NotImplementedError
+
+    def pop(self, worker_id: int) -> Optional[Any]:
+        """Take the next runnable operator, or None."""
+        raise NotImplementedError
+
+    def requeue(self, op: Any, worker_id: int) -> None:
+        """Operator yielded at quantum expiry with messages still pending."""
+        raise NotImplementedError
+
+    def should_swap(self, op: Any) -> bool:
+        """After the quantum: should the worker switch away from ``op``?"""
+        raise NotImplementedError
+
+    def pending_operator_count(self) -> int:
+        raise NotImplementedError
+
+
+class CameoRunQueue(RunQueue):
+    """Cameo's priority run queue: operators keyed by the global priority of
+    their head message; lazy invalidation via per-operator tokens.
+
+    When a new message improves an already-queued operator's head priority,
+    a fresh entry is pushed and the old one is skipped at pop time — the
+    classic lazy-decrease-key pattern, keeping every operation O(log n).
+
+    ``aging`` enables the starvation-prevention extension (§6.3): each
+    second a message has waited discounts the operator's effective priority
+    key by ``aging`` seconds, so even minimum-priority work is eventually
+    scheduled under sustained high-priority load.  The discount is computed
+    when the operator is (re)queued — a deliberate approximation that keeps
+    the queue a plain heap.
+    """
+
+    def __init__(self, clock: Optional[Any] = None, aging: float = 0.0):
+        if aging < 0:
+            raise ValueError("aging must be non-negative")
+        if aging > 0 and clock is None:
+            raise ValueError("aging requires a clock callable")
+        self._heap: list[tuple[float, int, int, Any]] = []
+        self._seq = 0
+        self._token = 0
+        self._clock = clock
+        self._aging = aging
+        #: number of (possibly stale) heap entries, for introspection
+        self.pushes = 0
+        self.pops = 0
+
+    def create_mailbox(self) -> Mailbox:
+        return PriorityMailbox()
+
+    def _priority_key(self, op: Any) -> float:
+        key = op.mailbox.head_global_priority()
+        if self._aging > 0:
+            head = op.mailbox.head_message()
+            enqueued = head.enqueue_time
+            if enqueued == enqueued:  # NaN-safe
+                # 1/aging is the *deferral horizon*: no message sorts later
+                # than "enqueue + horizon", however lax its deadline, and
+                # beyond that it keeps ageing.  Choose the horizon above the
+                # largest latency constraint that must stay in deadline
+                # order (deadlines below the cap are untouched).
+                key = min(key, enqueued + 1.0 / self._aging)
+                waited = self._clock() - enqueued
+                if waited > 0:
+                    key -= self._aging * waited
+        return key
+
+    def _push(self, op: Any) -> None:
+        self._token += 1
+        op.queue_token = self._token
+        heapq.heappush(
+            self._heap, (self._priority_key(op), self._seq, self._token, op)
+        )
+        self._seq += 1
+        self.pushes += 1
+
+    def notify(self, op: Any, now: float, worker_hint: Optional[int] = None) -> None:
+        if op.busy:
+            return
+        self._push(op)
+
+    def requeue(self, op: Any, worker_id: int) -> None:
+        self._push(op)
+
+    def _clean_top(self) -> None:
+        while self._heap:
+            _, _, token, op = self._heap[0]
+            if token == op.queue_token and not op.busy and len(op.mailbox) > 0:
+                return
+            heapq.heappop(self._heap)
+
+    def pop(self, worker_id: int) -> Optional[Any]:
+        self._clean_top()
+        if not self._heap:
+            return None
+        _, _, _, op = heapq.heappop(self._heap)
+        op.queue_token = -1
+        self.pops += 1
+        return op
+
+    def peek_best_priority(self) -> Optional[float]:
+        self._clean_top()
+        return self._heap[0][0] if self._heap else None
+
+    def should_swap(self, op: Any) -> bool:
+        best = self.peek_best_priority()
+        if best is None:
+            return False
+        if len(op.mailbox) == 0:
+            return True
+        # swap only for a strictly more urgent operator (§5.2)
+        return best < op.mailbox.head_global_priority()
+
+    def pending_operator_count(self) -> int:
+        self._clean_top()
+        return len(self._heap)

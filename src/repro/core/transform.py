@@ -1,0 +1,52 @@
+"""TRANSFORM: map a message's progress to the frontier progress (§4.3 step 1).
+
+For a message from upstream operator ``o_u`` (slide ``S_ou``) to a windowed
+downstream operator ``o_d`` (slide ``S_od``)::
+
+    p_MF = (p_M // S_od + 1) * S_od    if S_ou < S_od
+    p_MF = p_M                         otherwise
+
+A regular operator behaves as slide 0 (it triggers on every invocation), so
+messages into a windowed operator always take the first branch and messages
+into a regular operator always keep their progress.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.dataflow.windows import WindowSpec
+
+#: effective slide of a regular (non-windowed) operator
+REGULAR_SLIDE = 0.0
+
+
+def transform(p_m: float, upstream_slide: float, downstream_slide: float) -> float:
+    """The paper's TRANSFORM function.
+
+    ``upstream_slide`` / ``downstream_slide`` are the slide sizes of the
+    sending and target operators; use :data:`REGULAR_SLIDE` for regular
+    operators.
+    """
+    if upstream_slide < 0 or downstream_slide < 0:
+        raise ValueError("slide sizes must be non-negative")
+    if not math.isfinite(p_m):
+        # unknown progress (e.g. a union whose slower input has not spoken
+        # yet): no meaningful frontier, keep as-is
+        return p_m
+    if upstream_slide < downstream_slide:
+        return (math.floor(p_m / downstream_slide) + 1) * downstream_slide
+    return p_m
+
+
+def stage_slide(window: Optional[WindowSpec]) -> float:
+    """Effective slide of a stage: its window slide, or 0 when regular."""
+    return window.slide if window is not None else REGULAR_SLIDE
+
+
+def frontier_progress(p_m: float, target_window: Optional[WindowSpec],
+                      upstream_window: Optional[WindowSpec] = None) -> float:
+    """Frontier progress ``p_MF`` for a message with progress ``p_m`` sent
+    into an operator with ``target_window`` from one with ``upstream_window``."""
+    return transform(p_m, stage_slide(upstream_window), stage_slide(target_window))

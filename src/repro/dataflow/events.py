@@ -1,0 +1,139 @@
+"""Events and columnar event batches.
+
+Following Trill (and the paper's §6.3 "Cameo encloses a columnar batch of
+data in each message"), the unit of data exchange is an :class:`EventBatch`:
+parallel arrays of logical times, keys and values.  The batch also carries
+the *physical* (wall-clock) instant at which its last event arrived in the
+system — the quantity the paper's latency definition (§4.1) is measured
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single input event.
+
+    Attributes:
+        logical_time: stream progress `p` of the event (event time or
+            ingestion time, per the job's time domain).
+        value: numeric payload.
+        key: partitioning / grouping key.
+    """
+
+    logical_time: float
+    value: float = 1.0
+    key: int = 0
+
+
+class EventBatch:
+    """Columnar batch of events with uniform provenance.
+
+    All events in a batch arrived at the system together at
+    ``arrival_time`` (batches are formed at the ingestion point).
+    ``max_logical_time`` is the stream progress carried by the batch.
+    """
+
+    __slots__ = ("logical_times", "values", "keys", "arrival_time", "source_id")
+
+    def __init__(
+        self,
+        logical_times: Sequence[float],
+        values: Optional[Sequence[float]] = None,
+        keys: Optional[Sequence[int]] = None,
+        arrival_time: float = 0.0,
+        source_id: int = 0,
+    ):
+        self.logical_times = np.asarray(logical_times, dtype=np.float64)
+        if self.logical_times.ndim != 1:
+            raise ValueError("logical_times must be one-dimensional")
+        n = len(self.logical_times)
+        if values is None:
+            self.values = np.ones(n, dtype=np.float64)
+        else:
+            self.values = np.asarray(values, dtype=np.float64)
+        if keys is None:
+            self.keys = np.zeros(n, dtype=np.int64)
+        else:
+            self.keys = np.asarray(keys, dtype=np.int64)
+        if not (len(self.values) == len(self.keys) == n):
+            raise ValueError("logical_times, values and keys must have equal length")
+        self.arrival_time = float(arrival_time)
+        self.source_id = int(source_id)
+
+    def __len__(self) -> int:
+        return len(self.logical_times)
+
+    @property
+    def max_logical_time(self) -> float:
+        """Stream progress of the batch (−inf for an empty batch)."""
+        if len(self.logical_times) == 0:
+            return float("-inf")
+        return float(self.logical_times.max())
+
+    @property
+    def min_logical_time(self) -> float:
+        if len(self.logical_times) == 0:
+            return float("inf")
+        return float(self.logical_times.min())
+
+    @classmethod
+    def _raw(
+        cls,
+        logical_times: np.ndarray,
+        values: np.ndarray,
+        keys: np.ndarray,
+        arrival_time: float,
+        source_id: int,
+    ) -> "EventBatch":
+        """Validation-free constructor for internal hot paths (arrays must
+        already be well-formed, equal-length float64/float64/int64)."""
+        batch = cls.__new__(cls)
+        batch.logical_times = logical_times
+        batch.values = values
+        batch.keys = keys
+        batch.arrival_time = arrival_time
+        batch.source_id = source_id
+        return batch
+
+    def select(self, mask: np.ndarray) -> "EventBatch":
+        """A new batch with only rows where ``mask`` is True."""
+        return EventBatch._raw(
+            self.logical_times[mask],
+            self.values[mask],
+            self.keys[mask],
+            arrival_time=self.arrival_time,
+            source_id=self.source_id,
+        )
+
+    @staticmethod
+    def from_events(events: Sequence[Event], arrival_time: float = 0.0, source_id: int = 0) -> "EventBatch":
+        return EventBatch(
+            [e.logical_time for e in events],
+            [e.value for e in events],
+            [e.key for e in events],
+            arrival_time=arrival_time,
+            source_id=source_id,
+        )
+
+    @staticmethod
+    def single(
+        logical_time: float,
+        value: float = 1.0,
+        key: int = 0,
+        arrival_time: float = 0.0,
+        source_id: int = 0,
+    ) -> "EventBatch":
+        return EventBatch([logical_time], [value], [key], arrival_time=arrival_time, source_id=source_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EventBatch(n={len(self)}, p_max={self.max_logical_time:.3f}, "
+            f"arrival={self.arrival_time:.3f})"
+        )

@@ -1,0 +1,67 @@
+"""Job specifications: a dataflow graph plus its service expectations.
+
+The paper assumes "the user specifies a latency target at query submission
+time" (§3).  A job also declares its time domain (§4.3) — event time or
+ingestion time — which decides whether PROGRESSMAP is the identity or the
+online linear regressor, and (for the token policy of §5.4) an optional
+target ingestion rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dataflow.graph import DataflowGraph
+
+TIME_DOMAINS = ("event", "ingestion")
+
+#: tenant groups used throughout the evaluation (§6)
+GROUP_LATENCY_SENSITIVE = "LS"
+GROUP_BULK_ANALYTICS = "BA"
+
+
+@dataclass
+class JobSpec:
+    """A standing streaming query.
+
+    Attributes:
+        name: unique job name.
+        graph: the dataflow DAG.
+        latency_constraint: the end-to-end latency target ``L`` in seconds.
+        group: tenant group label (``"LS"`` or ``"BA"``; free-form allowed).
+        time_domain: ``"event"`` or ``"ingestion"`` (§4.3).
+        ingestion_delay: for event-time jobs, mean wall-clock lag between an
+            event's logical time and its arrival at the system.
+        token_rate: target events/second for the proportional-fair token
+            policy (§5.4); ``None`` when the job is not rate-controlled.
+    """
+
+    name: str
+    graph: DataflowGraph
+    latency_constraint: float
+    group: str = GROUP_LATENCY_SENSITIVE
+    time_domain: str = "event"
+    ingestion_delay: float = 0.0
+    token_rate: Optional[float] = None
+
+    def __post_init__(self):
+        if self.latency_constraint <= 0:
+            raise ValueError(f"job {self.name!r}: latency constraint must be positive")
+        if self.time_domain not in TIME_DOMAINS:
+            raise ValueError(
+                f"job {self.name!r}: time domain must be one of {TIME_DOMAINS}"
+            )
+        if self.ingestion_delay < 0:
+            raise ValueError(f"job {self.name!r}: ingestion delay must be non-negative")
+        if self.token_rate is not None and self.token_rate <= 0:
+            raise ValueError(f"job {self.name!r}: token rate must be positive")
+
+    @property
+    def source_count(self) -> int:
+        """Total parallel source operators across source stages."""
+        return sum(self.graph.stage(n).parallelism for n in self.graph.source_stages)
+
+    @property
+    def is_latency_sensitive(self) -> bool:
+        return self.group == GROUP_LATENCY_SENSITIVE

@@ -1,0 +1,73 @@
+"""Messages: the unit of scheduling.
+
+A message ``M = (o_M, (p_M, t_M))`` (paper Table 1) targets exactly one
+operator.  It carries:
+
+* ``p``  — the logical time (stream progress) of the last event required to
+  produce it,
+* ``t``  — the physical time at which that progress was observed at a
+  source operator,
+* ``deps_arrival`` — the wall-clock arrival time of the *latest* event that
+  influenced it (the paper's latency anchor, §4.1),
+* a :class:`~repro.core.context.PriorityContext` slot filled in by the
+  context converter before the message is handed to the scheduler.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.context import PriorityContext, ReplyContext
+    from repro.dataflow.events import EventBatch
+
+_message_ids = itertools.count()
+
+
+class MessageKind(Enum):
+    """DATA messages invoke operator logic; ACK messages carry reply contexts."""
+
+    DATA = "data"
+    ACK = "ack"
+
+
+@dataclass
+class Message:
+    """A scheduled unit of work addressed to one operator.
+
+    ``target`` / ``sender`` are opaque operator addresses assigned by the
+    runtime (``(job_name, stage_name, index)`` tuples in practice).
+    """
+
+    target: Any
+    batch: Optional["EventBatch"] = None
+    p: float = 0.0
+    t: float = 0.0
+    deps_arrival: float = 0.0
+    sender: Any = None
+    kind: MessageKind = MessageKind.DATA
+    pc: Optional["PriorityContext"] = None
+    rc: Optional["ReplyContext"] = None
+    channel_index: int = 0
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    enqueue_time: float = float("nan")
+
+    @property
+    def tuple_count(self) -> int:
+        """Number of event tuples carried (ACKs carry none)."""
+        return 0 if self.batch is None else len(self.batch)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(id={self.msg_id}, kind={self.kind.value}, target={self.target}, "
+            f"p={self.p:.3f}, t={self.t:.3f}, n={self.tuple_count})"
+        )
+
+
+def reset_message_ids() -> None:
+    """Restart the global message-id counter (test isolation helper)."""
+    global _message_ids
+    _message_ids = itertools.count()

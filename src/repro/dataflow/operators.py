@@ -1,0 +1,518 @@
+"""Dataflow operators.
+
+The paper distinguishes (§4.1) *regular* operators — triggered immediately
+on invocation — and *windowed* operators — which buffer input and trigger
+only when the window's frontier progress has been observed on every input
+channel.  Operator logic here is pure data transformation; all scheduling,
+routing, context conversion and cost accounting live in ``repro.runtime``.
+
+``on_message`` returns the list of output batches produced by the
+invocation.  Each output batch's ``arrival_time`` is the wall-clock arrival
+of the latest contributing event (the latency anchor), and its logical
+times are the stream progress of the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.dataflow.events import EventBatch
+from repro.dataflow.messages import Message
+from repro.dataflow.progress import ProgressTracker
+from repro.dataflow.windows import WindowSpec
+
+AGGREGATES = ("sum", "count", "mean", "max", "min")
+
+#: Window results are stamped just inside the window they summarize
+#: (``end - EPS``) so that a downstream window of the same size receives
+#: them in the matching window, while the *message* progress carries the
+#: full window end — the Flink-style "end-exclusive timestamp, end-inclusive
+#: watermark" convention.
+WINDOW_RESULT_EPS = 1e-9
+
+
+@dataclass
+class Emission:
+    """One output of an operator invocation.
+
+    ``progress`` is the logical time (stream progress) of the resulting
+    message and ``arrival`` its physical anchor — the wall-clock arrival of
+    the latest event that influenced it.  Carrying these explicitly (rather
+    than inferring them from the batch) keeps empty batches — progress
+    heartbeats and empty join results — first-class.
+    """
+
+    batch: EventBatch
+    progress: float
+    arrival: float
+
+
+@dataclass(frozen=True, eq=False)
+class OpAddress:
+    """Globally unique operator address: (job, stage, parallel index).
+
+    Hash is precomputed — addresses key several hot dictionaries (profiler,
+    channel table, operator index)."""
+
+    job: str
+    stage: str
+    index: int
+
+    def __post_init__(self):
+        object.__setattr__(self, "_hash", hash((self.job, self.stage, self.index)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, OpAddress):
+            return NotImplemented
+        return (
+            self.index == other.index
+            and self.stage == other.stage
+            and self.job == other.job
+        )
+
+    def __str__(self) -> str:
+        return f"{self.job}/{self.stage}[{self.index}]"
+
+
+class Operator:
+    """Base operator.  Subclasses implement :meth:`on_message`."""
+
+    #: windowed operators may extend message deadlines (paper §4.2.2)
+    is_windowed = False
+
+    def __init__(self, address: OpAddress):
+        self.address = address
+        self.progress: Optional[ProgressTracker] = None
+        self.invocations = 0
+        self.triggers = 0
+
+    def wire_inputs(self, channel_count: int) -> None:
+        """Called by the runtime once the input channel count is known."""
+        self.progress = ProgressTracker(channel_count) if channel_count > 0 else None
+
+    def on_message(self, msg: Message, now: float) -> list[Emission]:
+        raise NotImplementedError
+
+    def _observe_progress(self, msg: Message) -> None:
+        if self.progress is not None:
+            self.progress.observe(msg.channel_index, msg.p)
+
+    def _safe_progress(self, msg: Message) -> float:
+        """Progress a *regular* operator may emit: its frontier (minimum
+        across input channels).  With a single input this equals the
+        message's progress; with several (stream union) it prevents the
+        faster channel's watermark from overrunning the slower one."""
+        if self.progress is None or self.progress.channel_count == 1:
+            return msg.p
+        return self.progress.frontier
+
+
+class SourceOperator(Operator):
+    """Entry point of a dataflow: forwards ingested batches downstream.
+
+    Stream progress and physical time are assigned at ingestion (by the
+    engine); the source merely passes batches through, modelling the
+    de-serialisation / routing work a real source grain performs.
+    """
+
+    def on_message(self, msg: Message, now: float) -> list[Emission]:
+        self.invocations += 1
+        self._observe_progress(msg)
+        if msg.batch is None:
+            return []
+        self.triggers += 1
+        return [Emission(msg.batch, msg.p, msg.t)]
+
+
+class MapOperator(Operator):
+    """Regular operator applying a vectorised value transform."""
+
+    def __init__(self, address: OpAddress, fn: Callable[[np.ndarray], np.ndarray]):
+        super().__init__(address)
+        self._fn = fn
+
+    def on_message(self, msg: Message, now: float) -> list[Emission]:
+        self.invocations += 1
+        self._observe_progress(msg)
+        if msg.batch is None or len(msg.batch) == 0:
+            # empty batches are progress heartbeats: forward the progress
+            if msg.batch is None:
+                return []
+            return [Emission(msg.batch, self._safe_progress(msg), msg.t)]
+        out = EventBatch(
+            msg.batch.logical_times,
+            np.asarray(self._fn(msg.batch.values), dtype=np.float64),
+            msg.batch.keys,
+            arrival_time=msg.batch.arrival_time,
+            source_id=msg.batch.source_id,
+        )
+        self.triggers += 1
+        return [Emission(out, self._safe_progress(msg), msg.t)]
+
+
+class FilterOperator(Operator):
+    """Regular operator keeping rows where the predicate holds."""
+
+    def __init__(self, address: OpAddress, predicate: Callable[[np.ndarray], np.ndarray]):
+        super().__init__(address)
+        self._predicate = predicate
+
+    def on_message(self, msg: Message, now: float) -> list[Emission]:
+        self.invocations += 1
+        self._observe_progress(msg)
+        if msg.batch is None:
+            return []
+        if len(msg.batch) == 0:
+            return [Emission(msg.batch, self._safe_progress(msg), msg.t)]
+        mask = np.asarray(self._predicate(msg.batch.values), dtype=bool)
+        self.triggers += 1
+        return [Emission(msg.batch.select(mask), self._safe_progress(msg), msg.t)]
+
+
+class _Accumulator:
+    """Incremental per-key aggregate state for one window."""
+
+    __slots__ = ("sum", "count", "max", "min")
+
+    def __init__(self):
+        self.sum = 0.0
+        self.count = 0
+        self.max = float("-inf")
+        self.min = float("inf")
+
+    def add(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        if value > self.max:
+            self.max = value
+        if value < self.min:
+            self.min = value
+
+    def result(self, agg: str) -> float:
+        if agg == "sum":
+            return self.sum
+        if agg == "count":
+            return float(self.count)
+        if agg == "mean":
+            return self.sum / self.count if self.count else 0.0
+        if agg == "max":
+            return self.max
+        if agg == "min":
+            return self.min
+        raise ValueError(f"unknown aggregate {agg!r}")
+
+
+class _WindowState:
+    __slots__ = ("accumulators", "max_arrival", "tuple_count")
+
+    def __init__(self):
+        self.accumulators: dict[int, _Accumulator] = {}
+        self.max_arrival = float("-inf")
+        self.tuple_count = 0
+
+
+class WindowedAggregateOperator(Operator):
+    """Windowed aggregation (tumbling or sliding), optionally grouped by key.
+
+    Buffers per-window accumulators; when the frontier (minimum progress
+    across input channels) passes a window end, emits one result batch whose
+    logical time equals the window end — exactly the paper's ``p_MF``.
+    """
+
+    is_windowed = True
+
+    def __init__(self, address: OpAddress, window: WindowSpec, agg: str = "sum", by_key: bool = True):
+        super().__init__(address)
+        if agg not in AGGREGATES:
+            raise ValueError(f"unknown aggregate {agg!r}; expected one of {AGGREGATES}")
+        self.window = window
+        self.agg = agg
+        self.by_key = by_key
+        self._windows: dict[float, _WindowState] = {}
+        self.late_tuples = 0
+        self._emitted_through = float("-inf")
+
+    def on_message(self, msg: Message, now: float) -> list[Emission]:
+        self.invocations += 1
+        self._observe_progress(msg)
+        if msg.batch is not None and len(msg.batch) > 0:
+            self._absorb(msg.batch)
+        return self._emit_complete_windows()
+
+    def _absorb(self, batch: EventBatch) -> None:
+        """Vectorised window assignment + grouped accumulation.
+
+        Each event at logical time ``p`` falls into the windows ending at
+        ``first_end(p) + k * slide`` for ``k`` in ``0..size/slide - 1``; for
+        every replica ``k`` we do one grouped reduction over (end, key).
+        """
+        p = batch.logical_times
+        keys = batch.keys if self.by_key else np.zeros(len(batch), dtype=np.int64)
+        values = batch.values
+        slide, size = self.window.slide, self.window.size
+        first_end = (np.floor(p / slide) + 1.0) * slide
+        for k in range(self.window.window_count_containing()):
+            ends = first_end + k * slide
+            e_min, e_max = float(ends.min()), float(ends.max())
+            if k == 0 and e_min == e_max:
+                # fast path: the whole batch falls into one window replica
+                # (k == 0 membership is guaranteed: end - size <= p < end)
+                if e_min > self._emitted_through:
+                    self._update_window(e_min, keys, values, batch.arrival_time)
+                else:
+                    self.late_tuples += len(p)
+                continue
+            if k == 0:
+                mask = ends > self._emitted_through
+                self.late_tuples += int(len(p) - mask.sum())
+            else:
+                in_window = p >= ends - size
+                live = ends > self._emitted_through
+                mask = in_window & live
+                self.late_tuples += int((in_window & ~live).sum())
+            if not mask.any():
+                continue
+            self._accumulate_groups(
+                ends[mask], keys[mask], values[mask], batch.arrival_time
+            )
+
+    def _accumulate_groups(
+        self,
+        ends: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        arrival: float,
+    ) -> None:
+        # batches usually fall into one or two windows: split by unique end,
+        # then reduce per key within each window
+        for window_end in np.unique(ends):
+            mask = ends == window_end
+            self._update_window(float(window_end), keys[mask], values[mask], arrival)
+
+    def _update_window(
+        self, window_end: float, keys: np.ndarray, values: np.ndarray, arrival: float
+    ) -> None:
+        state = self._windows.get(window_end)
+        if state is None:
+            state = _WindowState()
+            self._windows[window_end] = state
+        need_minmax = self.agg in ("max", "min")
+        if keys.size and keys.min() >= 0 and keys.max() < 1 << 20:
+            counts = np.bincount(keys)
+            sums = np.bincount(keys, weights=values)
+            present = np.flatnonzero(counts)
+            if need_minmax:
+                maxs = np.full(len(counts), -np.inf)
+                mins = np.full(len(counts), np.inf)
+                np.maximum.at(maxs, keys, values)
+                np.minimum.at(mins, keys, values)
+            for key in present:
+                accumulator = state.accumulators.get(int(key))
+                if accumulator is None:
+                    accumulator = _Accumulator()
+                    state.accumulators[int(key)] = accumulator
+                accumulator.sum += float(sums[key])
+                accumulator.count += int(counts[key])
+                if need_minmax:
+                    accumulator.max = max(accumulator.max, float(maxs[key]))
+                    accumulator.min = min(accumulator.min, float(mins[key]))
+        else:
+            # arbitrary (large / negative) keys: sort-based grouping
+            order = np.argsort(keys, kind="stable")
+            k_sorted, v_sorted = keys[order], values[order]
+            boundary = np.empty(len(k_sorted), dtype=bool)
+            boundary[0] = True
+            boundary[1:] = k_sorted[1:] != k_sorted[:-1]
+            starts = np.flatnonzero(boundary)
+            sums = np.add.reduceat(v_sorted, starts)
+            maxs = np.maximum.reduceat(v_sorted, starts)
+            mins = np.minimum.reduceat(v_sorted, starts)
+            counts = np.diff(np.append(starts, len(v_sorted)))
+            for i, start in enumerate(starts):
+                accumulator = state.accumulators.get(int(k_sorted[start]))
+                if accumulator is None:
+                    accumulator = _Accumulator()
+                    state.accumulators[int(k_sorted[start])] = accumulator
+                accumulator.sum += float(sums[i])
+                accumulator.count += int(counts[i])
+                accumulator.max = max(accumulator.max, float(maxs[i]))
+                accumulator.min = min(accumulator.min, float(mins[i]))
+        state.tuple_count += int(keys.size)
+        if arrival > state.max_arrival:
+            state.max_arrival = arrival
+
+    def _emit_complete_windows(self) -> list[Emission]:
+        if self.progress is None:
+            return []
+        frontier = self.progress.frontier
+        ready = sorted(end for end in self._windows if end <= frontier)
+        outputs = []
+        for window_end in ready:
+            state = self._windows.pop(window_end)
+            keys = sorted(state.accumulators)
+            values = [state.accumulators[k].result(self.agg) for k in keys]
+            batch = EventBatch(
+                [window_end - WINDOW_RESULT_EPS] * len(keys),
+                values,
+                keys,
+                arrival_time=state.max_arrival,
+                source_id=self.address.index,
+            )
+            outputs.append(Emission(batch, window_end, state.max_arrival))
+            self.triggers += 1
+            if window_end > self._emitted_through:
+                self._emitted_through = window_end
+        return outputs
+
+    @property
+    def pending_window_count(self) -> int:
+        return len(self._windows)
+
+
+class _JoinWindowState:
+    """Per-key tuple counts for each side (the join emits pair counts)."""
+
+    __slots__ = ("left", "right", "max_arrival")
+
+    def __init__(self):
+        self.left: dict[int, int] = {}
+        self.right: dict[int, int] = {}
+        self.max_arrival = float("-inf")
+
+
+class WindowedJoinOperator(Operator):
+    """Windowed equi-join of two input stages.
+
+    Input channels are tagged left/right by the runtime via
+    :meth:`set_channel_sides`.  On window completion, emits one tuple per
+    matching key whose value is the number of joined pairs (count join),
+    with logical time = window end.
+    """
+
+    is_windowed = True
+
+    def __init__(self, address: OpAddress, window: WindowSpec):
+        super().__init__(address)
+        self.window = window
+        self._channel_sides: list[int] = []
+        self._windows: dict[float, _JoinWindowState] = {}
+        self._emitted_through = float("-inf")
+        self.late_tuples = 0
+
+    def set_channel_sides(self, sides: list[int]) -> None:
+        """``sides[i]`` is 0 (left) or 1 (right) for input channel ``i``."""
+        if any(side not in (0, 1) for side in sides):
+            raise ValueError("channel sides must be 0 (left) or 1 (right)")
+        self._channel_sides = list(sides)
+
+    def on_message(self, msg: Message, now: float) -> list[Emission]:
+        self.invocations += 1
+        self._observe_progress(msg)
+        if msg.batch is not None and len(msg.batch) > 0:
+            if not self._channel_sides:
+                raise RuntimeError("join operator used before set_channel_sides()")
+            side = self._channel_sides[msg.channel_index]
+            self._absorb(msg.batch, side)
+        return self._emit_complete_windows()
+
+    def _absorb(self, batch: EventBatch, side: int) -> None:
+        p = batch.logical_times
+        slide, size = self.window.slide, self.window.size
+        first_end = (np.floor(p / slide) + 1.0) * slide
+        for k in range(self.window.window_count_containing()):
+            ends = first_end + k * slide
+            in_window = p >= ends - size
+            live = ends > self._emitted_through
+            mask = in_window & live
+            self.late_tuples += int((in_window & ~live).sum())
+            if not mask.any():
+                continue
+            # grouped per-(end, key) counts via one pass over unique pairs
+            pairs = np.stack([ends[mask], batch.keys[mask].astype(np.float64)], axis=1)
+            unique_pairs, counts = np.unique(pairs, axis=0, return_counts=True)
+            for (window_end, key), count in zip(unique_pairs, counts):
+                state = self._windows.get(float(window_end))
+                if state is None:
+                    state = _JoinWindowState()
+                    self._windows[float(window_end)] = state
+                table = state.left if side == 0 else state.right
+                key = int(key)
+                table[key] = table.get(key, 0) + int(count)
+                if batch.arrival_time > state.max_arrival:
+                    state.max_arrival = batch.arrival_time
+
+    def _emit_complete_windows(self) -> list[Emission]:
+        if self.progress is None:
+            return []
+        frontier = self.progress.frontier
+        ready = sorted(end for end in self._windows if end <= frontier)
+        outputs = []
+        for window_end in ready:
+            state = self._windows.pop(window_end)
+            keys = sorted(set(state.left) & set(state.right))
+            values = [float(state.left[k] * state.right[k]) for k in keys]
+            arrival = state.max_arrival
+            batch = EventBatch(
+                [window_end - WINDOW_RESULT_EPS] * len(keys),
+                values,
+                keys,
+                arrival_time=arrival,
+                source_id=self.address.index,
+            )
+            outputs.append(Emission(batch, window_end, arrival))
+            self.triggers += 1
+            if window_end > self._emitted_through:
+                self._emitted_through = window_end
+        return outputs
+
+
+class WindowedTopKOperator(WindowedAggregateOperator):
+    """Windowed top-k: like a keyed windowed aggregate, but each trigger
+    emits only the ``k`` keys with the largest aggregate value, ordered
+    descending (dashboard-style "top advertisers per second")."""
+
+    def __init__(self, address: OpAddress, window: WindowSpec, k: int,
+                 agg: str = "sum"):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        super().__init__(address, window, agg=agg, by_key=True)
+        self.k = k
+
+    def _emit_complete_windows(self) -> list[Emission]:
+        emissions = super()._emit_complete_windows()
+        trimmed = []
+        for emission in emissions:
+            batch = emission.batch
+            if len(batch) > self.k:
+                order = np.argsort(batch.values)[::-1][: self.k]
+                batch = EventBatch._raw(
+                    batch.logical_times[order],
+                    batch.values[order],
+                    batch.keys[order],
+                    arrival_time=batch.arrival_time,
+                    source_id=batch.source_id,
+                )
+            trimmed.append(Emission(batch, emission.progress, emission.arrival))
+        return trimmed
+
+
+class SinkOperator(Operator):
+    """Terminal operator: hands finished results to the runtime's recorder."""
+
+    def __init__(self, address: OpAddress):
+        super().__init__(address)
+        self.outputs_seen = 0
+
+    def on_message(self, msg: Message, now: float) -> list[Emission]:
+        self.invocations += 1
+        self._observe_progress(msg)
+        if msg.batch is not None and len(msg.batch) > 0:
+            self.outputs_seen += 1
+            self.triggers += 1
+        return []

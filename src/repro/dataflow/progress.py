@@ -1,0 +1,59 @@
+"""Per-channel stream-progress tracking (watermarks).
+
+A windowed operator fed by several upstream channels may only trigger a
+window once *every* channel's progress has passed the window end — the
+paper's "frontier progresses are observed at all sources" (§4.2.2).  The
+runtime guarantees in-order delivery per channel (§4.3), so per-channel
+progress is simply the last logical time seen on that channel.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class ProgressTracker:
+    """Tracks logical-time progress across a fixed set of input channels."""
+
+    def __init__(self, channel_count: int):
+        if channel_count <= 0:
+            raise ValueError("an operator must have at least one input channel")
+        self._progress = [float("-inf")] * channel_count
+
+    @property
+    def channel_count(self) -> int:
+        return len(self._progress)
+
+    def observe(self, channel_index: int, logical_time: float) -> None:
+        """Record progress on one channel.  Regressions are clamped (in-order
+        channels never regress, but empty heartbeat batches repeat values)."""
+        if not 0 <= channel_index < len(self._progress):
+            raise IndexError(
+                f"channel {channel_index} out of range 0..{len(self._progress) - 1}"
+            )
+        if logical_time > self._progress[channel_index]:
+            self._progress[channel_index] = logical_time
+
+    def channel_progress(self, channel_index: int) -> float:
+        return self._progress[channel_index]
+
+    @property
+    def frontier(self) -> float:
+        """Minimum progress across all channels: the operator's safe watermark."""
+        return min(self._progress)
+
+    @property
+    def max_progress(self) -> float:
+        return max(self._progress)
+
+    def complete_up_to(self, logical_time: float) -> bool:
+        """True when every channel has progressed to at least ``logical_time``."""
+        return self.frontier >= logical_time
+
+
+def merged_frontier(trackers: Iterable[ProgressTracker]) -> float:
+    """Frontier across a set of trackers (used for multi-input operators)."""
+    frontier = float("inf")
+    for tracker in trackers:
+        frontier = min(frontier, tracker.frontier)
+    return frontier

@@ -1,0 +1,76 @@
+"""Window specifications and window arithmetic.
+
+Windows partition the logical-time axis.  A window is identified by its
+*end* (exclusive upper bound of logical times it covers): window ends lie on
+multiples of the slide.  A tumbling window is a sliding window whose slide
+equals its size (§6.1).
+
+The window *end* is exactly the paper's frontier progress ``p_MF`` (§4.2.2):
+the minimum stream progress that must be observed before the window can
+trigger.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A sliding window of ``size`` logical seconds advancing by ``slide``.
+
+    ``slide == size`` gives a tumbling window.  ``slide`` must evenly divide
+    the window placement in a way that keeps ends on the slide grid; we only
+    require ``0 < slide <= size``.
+    """
+
+    size: float
+    slide: float
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ValueError(f"window size must be positive, got {self.size}")
+        if self.slide <= 0:
+            raise ValueError(f"window slide must be positive, got {self.slide}")
+        if self.slide > self.size:
+            raise ValueError(
+                f"slide ({self.slide}) larger than size ({self.size}) would drop events"
+            )
+
+    @property
+    def is_tumbling(self) -> bool:
+        return self.slide == self.size
+
+    @staticmethod
+    def tumbling(size: float) -> "WindowSpec":
+        return WindowSpec(size=size, slide=size)
+
+    @staticmethod
+    def sliding(size: float, slide: float) -> "WindowSpec":
+        return WindowSpec(size=size, slide=slide)
+
+    def first_window_end(self, logical_time: float) -> float:
+        """The earliest window end whose window contains ``logical_time``.
+
+        Windows cover ``[end - size, end)`` with ends on multiples of
+        ``slide``.  This is the paper's TRANSFORM for ``S_ou < S_od``:
+        ``p_MF = (p_M // S + 1) * S``.
+        """
+        return (math.floor(logical_time / self.slide) + 1) * self.slide
+
+    def window_ends_containing(self, logical_time: float) -> Iterator[float]:
+        """All window ends whose windows ``[end - size, end)`` contain the time."""
+        end = self.first_window_end(logical_time)
+        while end - self.size <= logical_time < end:
+            yield end
+            end += self.slide
+
+    def window_bounds(self, window_end: float) -> tuple[float, float]:
+        """``(start, end)`` logical-time bounds of the window ending at ``window_end``."""
+        return (window_end - self.size, window_end)
+
+    def window_count_containing(self) -> int:
+        """How many windows each event belongs to (size / slide)."""
+        return max(1, math.ceil(self.size / self.slide - 1e-12))

@@ -1,0 +1,60 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+Each ``run_figNN`` returns an
+:class:`~repro.experiments.common.ExperimentResult` whose rows are the same
+series the paper's exhibit plots; ``extras`` carries the raw numbers the
+shape assertions (tests) and EXPERIMENTS.md rely on.
+"""
+
+from repro.experiments.common import ExperimentResult, TenantMix, run_tenant_mix
+from repro.experiments.ext_backpressure import run_ext_backpressure
+from repro.experiments.ext_elasticity import ReactiveScaler, run_ext_elasticity
+from repro.experiments.ext_starvation import run_ext_starvation
+from repro.experiments.fig01_motivation import run_fig01
+from repro.experiments.fig02_workload import run_fig02
+from repro.experiments.fig04_example import run_fig04
+from repro.experiments.fig06_tokens import run_fig06
+from repro.experiments.fig07_single_tenant import run_fig07
+from repro.experiments.fig08_multi_tenant import (
+    run_fig08,
+    run_fig08a,
+    run_fig08b,
+    run_fig08c,
+)
+from repro.experiments.fig09_pareto import run_fig09
+from repro.experiments.fig10_skew import run_fig10
+from repro.experiments.fig11_policies import run_fig11, run_fig11_multi, run_fig11_single
+from repro.experiments.fig12_overhead import run_fig12
+from repro.experiments.fig13_batch import run_fig13
+from repro.experiments.fig14_quantum import run_fig14
+from repro.experiments.fig15_semantics import run_fig15
+from repro.experiments.fig16_noise import run_fig16
+
+__all__ = [
+    "ExperimentResult",
+    "TenantMix",
+    "run_fig01",
+    "run_fig02",
+    "run_fig04",
+    "run_fig06",
+    "run_fig07",
+    "run_fig08",
+    "run_fig08a",
+    "run_fig08b",
+    "run_fig08c",
+    "run_fig09",
+    "run_fig10",
+    "run_fig11",
+    "run_fig11_multi",
+    "run_fig11_single",
+    "run_fig12",
+    "run_fig13",
+    "run_fig14",
+    "run_fig15",
+    "run_fig16",
+    "ReactiveScaler",
+    "run_ext_backpressure",
+    "run_ext_elasticity",
+    "run_ext_starvation",
+    "run_tenant_mix",
+]

@@ -1,0 +1,56 @@
+"""Figure 1 — motivation: utilization vs tail latency across architectures.
+
+The paper's Fig. 1 plots three deployments of the same workload:
+
+* a slot-based system (Flink on YARN): dedicated resources per job — good
+  tail latency but low utilization (over-provisioned);
+* a simple actor system (Orleans): shared resources, arrival-order
+  scheduling — high utilization but high tail latency;
+* Cameo: shared resources with deadline-derived priorities — high
+  utilization *and* low tail latency.
+
+We reproduce it by running an identical tenant mix on (a) an
+over-provisioned cluster with one job per node ("slot"), and (b/c) a small
+shared cluster under the Orleans and Cameo schedulers.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, TenantMix, run_tenant_mix
+
+
+def run_fig01(
+    duration: float = 30.0,
+    seed: int = 1,
+    ba_msg_rate: float = 90.0,
+) -> ExperimentResult:
+    mix = TenantMix(ls_count=2, ba_count=4, ls_sources=4, ba_sources=4,
+                    ba_msg_rate=ba_msg_rate)
+    job_count = mix.ls_count + mix.ba_count
+    systems = {
+        # slot-based: every job has its own node (6 nodes for 6 jobs)
+        "slot-based": dict(
+            scheduler="fifo", nodes=job_count, workers_per_node=2,
+            config_overrides={"placement": "pack_by_job"},
+        ),
+        # shared cluster: 2 nodes x 2 workers for all 6 jobs
+        "orleans": dict(scheduler="orleans", nodes=2, workers_per_node=2),
+        "cameo": dict(scheduler="cameo", nodes=2, workers_per_node=2),
+    }
+    result = ExperimentResult(
+        name="fig01",
+        title="Utilization vs LS tail latency (slot vs actor vs Cameo)",
+        headers=["system", "utilization", "LS p50 (ms)", "LS p99 (ms)"],
+        notes="expect: slot low-util/low-p99; orleans high-util/high-p99; "
+              "cameo high-util/low-p99",
+    )
+    for system, kwargs in systems.items():
+        engine = run_tenant_mix(mix=mix, duration=duration, seed=seed, **kwargs)
+        summary = engine.metrics.group_summary("LS")
+        utilization = engine.metrics.utilization(duration + 5.0)
+        result.rows.append(
+            [system, utilization, summary.p50 * 1e3, summary.p99 * 1e3]
+        )
+        result.extras[system] = {"utilization": utilization, "p99": summary.p99,
+                                 "p50": summary.p50}
+    return result

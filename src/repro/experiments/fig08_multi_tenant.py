@@ -1,0 +1,122 @@
+"""Figure 8 — latency-sensitive jobs under competing bulk-analytics load.
+
+Three sweeps with a fixed group of LS jobs (800 ms target) against BA jobs
+(7200 s constraint):
+
+(a) increasing BA per-source ingestion rate,
+(b) increasing number of BA tenants,
+(c) decreasing worker-pool size.
+
+Paper shapes: all three schedulers are comparable below saturation; beyond
+it, Orleans and FIFO degrade LS latency by multiples (FIFO worst at the
+tail) while Cameo stays stable; Cameo's impact on BA jobs is small.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    SCHEDULERS,
+    ExperimentResult,
+    TenantMix,
+    group_row,
+    run_tenant_mix,
+)
+
+
+def run_fig08a(
+    rates: tuple = (20.0, 60.0, 100.0, 140.0),
+    duration: float = 30.0,
+    seed: int = 4,
+) -> ExperimentResult:
+    """(a) sweep BA per-source message rate."""
+    result = ExperimentResult(
+        name="fig08a",
+        title="LS latency vs BA ingestion rate",
+        headers=["ba rate (msg/s/src)", "scheduler", "LS p50 (ms)", "LS p99 (ms)",
+                 "BA p50 (ms)", "LS success"],
+        notes="expect: comparable at low rate; beyond saturation cameo stable, "
+              "baselines degrade",
+    )
+    for rate in rates:
+        mix = TenantMix(ls_count=4, ba_count=4, ba_msg_rate=rate)
+        for scheduler in SCHEDULERS:
+            engine = run_tenant_mix(scheduler, mix, duration=duration, seed=seed,
+                                    nodes=2, workers_per_node=2)
+            ls = group_row(engine, "LS", duration)
+            ba = group_row(engine, "BA", duration)
+            result.rows.append([rate, scheduler, ls["p50"] * 1e3, ls["p99"] * 1e3,
+                                ba["p50"] * 1e3, ls["success"]])
+            result.extras[(rate, scheduler)] = {"ls": ls, "ba": ba}
+    return result
+
+
+def run_fig08b(
+    tenant_counts: tuple = (2, 6, 10, 14),
+    ba_rate: float = 30.0,
+    duration: float = 30.0,
+    seed: int = 4,
+) -> ExperimentResult:
+    """(b) sweep the number of BA tenants."""
+    result = ExperimentResult(
+        name="fig08b",
+        title="LS latency vs number of BA tenants",
+        headers=["ba tenants", "scheduler", "LS p50 (ms)", "LS p99 (ms)",
+                 "BA p50 (ms)", "LS success"],
+        notes="expect: cameo stable as tenants grow; fifo degrades worst at tail",
+    )
+    for count in tenant_counts:
+        mix = TenantMix(ls_count=4, ba_count=count, ba_msg_rate=ba_rate)
+        for scheduler in SCHEDULERS:
+            engine = run_tenant_mix(scheduler, mix, duration=duration, seed=seed,
+                                    nodes=2, workers_per_node=2)
+            ls = group_row(engine, "LS", duration)
+            ba = group_row(engine, "BA", duration)
+            result.rows.append([count, scheduler, ls["p50"] * 1e3, ls["p99"] * 1e3,
+                                ba["p50"] * 1e3, ls["success"]])
+            result.extras[(count, scheduler)] = {"ls": ls, "ba": ba}
+    return result
+
+
+def run_fig08c(
+    worker_counts: tuple = (4, 2, 1),
+    ba_rate: float = 65.0,
+    duration: float = 30.0,
+    seed: int = 4,
+) -> ExperimentResult:
+    """(c) shrink the worker pool (paper: SEDA-style thread-pool resizing)."""
+    result = ExperimentResult(
+        name="fig08c",
+        title="LS latency and BA throughput vs worker-pool size",
+        headers=["workers/node", "scheduler", "LS p50 (ms)", "LS p99 (ms)",
+                 "LS success", "BA throughput (tuples/s)"],
+        notes="expect: cameo holds LS latency down to small pools (back-pressuring "
+              "BA); baselines penalise LS",
+    )
+    for workers in worker_counts:
+        mix = TenantMix(ls_count=4, ba_count=4, ba_msg_rate=ba_rate)
+        for scheduler in SCHEDULERS:
+            engine = run_tenant_mix(scheduler, mix, duration=duration, seed=seed,
+                                    nodes=2, workers_per_node=workers)
+            ls = group_row(engine, "LS", duration)
+            ba = group_row(engine, "BA", duration)
+            result.rows.append([workers, scheduler, ls["p50"] * 1e3, ls["p99"] * 1e3,
+                                ls["success"], ba["throughput"]])
+            result.extras[(workers, scheduler)] = {"ls": ls, "ba": ba}
+    return result
+
+
+def run_fig08(**kwargs) -> ExperimentResult:
+    """All three panels concatenated (benchmark entry point)."""
+    a = run_fig08a(**kwargs.get("a", {}))
+    b = run_fig08b(**kwargs.get("b", {}))
+    c = run_fig08c(**kwargs.get("c", {}))
+    combined = ExperimentResult(
+        name="fig08",
+        title="Multi-tenant sweeps (a: rate, b: tenants, c: workers)",
+        headers=["panel", *a.headers],
+    )
+    for panel, sub in (("a", a), ("b", b), ("c", c)):
+        for row in sub.rows:
+            combined.rows.append([panel, *row])
+    combined.extras = {"a": a, "b": b, "c": c}
+    return combined

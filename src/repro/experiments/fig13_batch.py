@@ -1,0 +1,47 @@
+"""Figure 13 — effect of message batch size.
+
+More tuples are packed into each message while the overall tuple ingestion
+rate stays constant.  Larger batches amortise scheduling overhead but give
+the scheduler less flexibility: a low-priority mega-message blocks
+higher-priority messages once running (execution is non-preemptive).
+
+Paper shape: Group-1 latency is unaffected up to ~20K tuples/message and
+degrades at ~40K.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    TenantMix,
+    group_row,
+    run_tenant_mix,
+)
+from repro.workloads.arrivals import FixedBatchSize, PeriodicArrivals
+
+
+def run_fig13(
+    batch_sizes: tuple = (1000, 5000, 20000, 40000),
+    ba_tuple_rate: float = 40_000.0,
+    duration: float = 30.0,
+    seed: int = 8,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        name="fig13",
+        title="Effect of batch size at constant tuple rate (Cameo)",
+        headers=["batch size", "LS p50 (ms)", "LS p99 (ms)", "LS success"],
+        notes="expect: flat until ~20K, degradation at 40K (blocking by large "
+              "low-priority messages)",
+    )
+    for batch in batch_sizes:
+        msg_rate = ba_tuple_rate / batch
+        mix = TenantMix(ls_count=4, ba_count=4, ba_msg_rate=msg_rate)
+        engine = run_tenant_mix(
+            "cameo", mix, duration=duration, seed=seed, nodes=2, workers_per_node=2,
+            ba_arrivals=lambda s, i: PeriodicArrivals(1.0 / msg_rate),
+            ba_sizer=FixedBatchSize(batch),
+        )
+        ls = group_row(engine, "LS", duration)
+        result.rows.append([batch, ls["p50"] * 1e3, ls["p99"] * 1e3, ls["success"]])
+        result.extras[batch] = ls
+    return result

@@ -1,0 +1,215 @@
+"""Per-job metric collection during a simulation run.
+
+The hub records, per job: every sink output (time, end-to-end latency,
+tuples), start-deadline violations observed by the scheduler, and message
+counts; plus per-worker busy time for utilization (Fig. 1) and an optional
+operator schedule timeline (Fig. 7c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.metrics.stats import LatencySummary, RunningStat, summarize
+
+
+@dataclass
+class TimelinePoint:
+    """One message start: when, which operator, at what stream progress."""
+
+    time: float
+    job: str
+    stage: str
+    operator_index: int
+    progress: float
+
+
+class JobMetrics:
+    """Recorded outputs and counters for one job."""
+
+    def __init__(self, name: str, group: str, latency_constraint: float):
+        self.name = name
+        self.group = group
+        self.latency_constraint = latency_constraint
+        self.output_times: list[float] = []
+        self.latencies: list[float] = []
+        self.output_tuples: list[int] = []
+        self.output_values: list[float] = []  # sum of result values per output
+        self.start_violations = 0
+        self.backpressure_events = 0  # client messages held by back-pressure
+        self.max_source_mailbox = 0   # memory-pressure proxy
+        self.messages_processed = 0
+        self.tuples_ingested = 0
+        self.tuples_processed = 0  # tuples consumed at source operators
+        self.source_events: list[tuple[float, int]] = []  # (time, tuples)
+        #: per-stage queueing-delay running stats (mailbox wait per message)
+        self.queueing: dict[str, RunningStat] = {}
+        #: per-stage execution-time running stats
+        self.execution: dict[str, RunningStat] = {}
+
+    def record_queueing(self, stage: str, delay: float) -> None:
+        stat = self.queueing.get(stage)
+        if stat is None:
+            stat = RunningStat()
+            self.queueing[stage] = stat
+        stat.add(delay)
+
+    def record_execution(self, stage: str, cost: float) -> None:
+        stat = self.execution.get(stage)
+        if stat is None:
+            stat = RunningStat()
+            self.execution[stage] = stat
+        stat.add(cost)
+
+    def breakdown(self) -> list[tuple[str, float, float, float]]:
+        """Per-stage ``(stage, mean queueing, max queueing, mean execution)``
+        rows — where time goes inside the pipeline."""
+        stages = sorted(set(self.queueing) | set(self.execution))
+        rows = []
+        for stage in stages:
+            queueing = self.queueing.get(stage)
+            execution = self.execution.get(stage)
+            rows.append((
+                stage,
+                queueing.mean if queueing else 0.0,
+                queueing.max if queueing else 0.0,
+                execution.mean if execution else 0.0,
+            ))
+        return rows
+
+    def record_output(self, time: float, latency: float, tuples: int,
+                      value: float = 0.0) -> None:
+        self.output_times.append(time)
+        self.latencies.append(latency)
+        self.output_tuples.append(tuples)
+        self.output_values.append(value)
+
+    @property
+    def output_count(self) -> int:
+        return len(self.latencies)
+
+    def latency_array(self) -> np.ndarray:
+        return np.asarray(self.latencies, dtype=np.float64)
+
+    def summary(self) -> LatencySummary:
+        return summarize(self.latencies)
+
+    def success_rate(self) -> float:
+        """Fraction of outputs meeting the job's latency constraint (Fig. 10)."""
+        if not self.latencies:
+            return float("nan")
+        array = self.latency_array()
+        return float((array <= self.latency_constraint).mean())
+
+    def on_time_count(self) -> int:
+        """Number of outputs that met the latency constraint."""
+        if not self.latencies:
+            return 0
+        return int((self.latency_array() <= self.latency_constraint).sum())
+
+    def completion_success_rate(self, expected_outputs: int) -> float:
+        """On-time outputs over *expected* outputs: an output that never
+        materialised (stalled pipeline) counts as a miss.  Use when a
+        scheduler can starve a job into silence — plain ``success_rate``
+        would then survey only the few outputs it did produce."""
+        if expected_outputs <= 0:
+            return float("nan")
+        return min(1.0, self.on_time_count() / expected_outputs)
+
+    def throughput(self, duration: float) -> float:
+        """Tuples consumed at the job's sources per second — the paper's
+        events/s notion of throughput (robust to aggregation fan-in)."""
+        if duration <= 0:
+            return float("nan")
+        return self.tuples_processed / duration
+
+    def output_rate(self, duration: float) -> float:
+        """Result tuples per second at the sink."""
+        if duration <= 0:
+            return float("nan")
+        return sum(self.output_tuples) / duration
+
+    def source_rate_timeline(self, bucket: float = 1.0) -> list[tuple[float, float]]:
+        """(bucket_time, tuples/s consumed at sources) series (Fig. 6)."""
+        if not self.source_events:
+            return []
+        buckets: dict[int, float] = {}
+        for time, tuples in self.source_events:
+            index = int(time // bucket)
+            buckets[index] = buckets.get(index, 0.0) + tuples
+        return [(i * bucket, total / bucket) for i, total in sorted(buckets.items())]
+
+    def latency_timeline(self, bucket: float = 1.0) -> list[tuple[float, float]]:
+        """(bucket_time, mean_latency) series (Figs. 9a-c)."""
+        if not self.latencies:
+            return []
+        buckets: dict[int, list[float]] = {}
+        for time, latency in zip(self.output_times, self.latencies):
+            buckets.setdefault(int(time // bucket), []).append(latency)
+        return [
+            (index * bucket, float(np.mean(values)))
+            for index, values in sorted(buckets.items())
+        ]
+
+
+class MetricsHub:
+    """All metrics for one engine run."""
+
+    def __init__(self):
+        self._jobs: dict[str, JobMetrics] = {}
+        self.timeline: list[TimelinePoint] = []
+        self.worker_busy: dict[tuple[int, int], float] = {}
+        self.total_messages = 0
+        self.total_acks = 0
+
+    def register_job(self, name: str, group: str, latency_constraint: float) -> JobMetrics:
+        if name in self._jobs:
+            raise ValueError(f"job {name!r} registered twice")
+        metrics = JobMetrics(name, group, latency_constraint)
+        self._jobs[name] = metrics
+        return metrics
+
+    def job(self, name: str) -> JobMetrics:
+        return self._jobs[name]
+
+    @property
+    def job_names(self) -> list[str]:
+        return list(self._jobs)
+
+    def jobs_in_group(self, group: str) -> list[JobMetrics]:
+        return [m for m in self._jobs.values() if m.group == group]
+
+    def group_latencies(self, group: str) -> np.ndarray:
+        """Pooled latency sample across all jobs of a tenant group."""
+        arrays = [m.latency_array() for m in self.jobs_in_group(group)]
+        arrays = [a for a in arrays if a.size]
+        if not arrays:
+            return np.empty(0)
+        return np.concatenate(arrays)
+
+    def group_summary(self, group: str) -> LatencySummary:
+        return summarize(self.group_latencies(group))
+
+    def group_success_rate(self, group: str) -> float:
+        jobs = self.jobs_in_group(group)
+        successes = total = 0
+        for job in jobs:
+            array = job.latency_array()
+            successes += int((array <= job.latency_constraint).sum())
+            total += array.size
+        return successes / total if total else float("nan")
+
+    def group_throughput(self, group: str, duration: float) -> float:
+        return sum(j.throughput(duration) for j in self.jobs_in_group(group))
+
+    def record_worker_busy(self, node_id: int, worker_id: int, busy_time: float) -> None:
+        self.worker_busy[(node_id, worker_id)] = busy_time
+
+    def utilization(self, duration: float) -> float:
+        """Mean worker utilization over the run (Fig. 1's x-axis)."""
+        if not self.worker_busy or duration <= 0:
+            return float("nan")
+        return float(np.mean([b / duration for b in self.worker_busy.values()]))

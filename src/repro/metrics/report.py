@@ -1,0 +1,47 @@
+"""Plain-text tables for the benchmark harness and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+
+def _format_cell(value: Any, precision: int) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "n/a"
+        if value != 0 and (abs(value) >= 1e6 or abs(value) < 10 ** (-precision)):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[_format_cell(v, precision) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_latency_ms(seconds: float) -> str:
+    """Human-readable latency."""
+    if math.isnan(seconds):
+        return "n/a"
+    return f"{seconds * 1000:.1f}ms"

@@ -1,0 +1,114 @@
+"""Latency statistics helpers: percentiles, summaries, CDFs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary of a latency sample (all values in seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+    std: float
+
+    def as_row(self, scale: float = 1000.0) -> list[float]:
+        """Values scaled (default to milliseconds) for table printing."""
+        return [
+            self.count,
+            self.mean * scale,
+            self.p50 * scale,
+            self.p95 * scale,
+            self.p99 * scale,
+            self.max * scale,
+            self.std * scale,
+        ]
+
+
+_EMPTY = LatencySummary(0, float("nan"), float("nan"), float("nan"), float("nan"),
+                        float("nan"), float("nan"))
+
+
+class RunningStat:
+    """O(1)-memory running mean / max / count (Welford variance).
+
+    Used for high-volume signals (per-stage queueing delays) where storing
+    every sample would dominate memory."""
+
+    __slots__ = ("count", "mean", "max", "_m2")
+
+    def __init__(self):
+        self.count = 0
+        self.mean = 0.0
+        self.max = float("-inf")
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value > self.max:
+            self.max = value
+
+    @property
+    def std(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return float(np.sqrt(self._m2 / self.count))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunningStat(n={self.count}, mean={self.mean:.6f}, max={self.max:.6f})"
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) of a sample; NaN for an empty sample."""
+    if not 0 <= q <= 100:
+        raise ValueError("percentile must be within [0, 100]")
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        return float("nan")
+    return float(np.percentile(array, q))
+
+
+def summarize(values: Sequence[float]) -> LatencySummary:
+    """Full summary of a latency sample."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        return _EMPTY
+    return LatencySummary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        p50=float(np.percentile(array, 50)),
+        p95=float(np.percentile(array, 95)),
+        p99=float(np.percentile(array, 99)),
+        max=float(array.max()),
+        std=float(array.std()),
+    )
+
+
+def cdf_points(values: Sequence[float], points: int = 20) -> list[tuple[float, float]]:
+    """``(value, cumulative_fraction)`` pairs describing the empirical CDF."""
+    array = np.sort(np.asarray(values, dtype=np.float64))
+    if array.size == 0:
+        return []
+    if points < 2:
+        raise ValueError("need at least 2 CDF points")
+    fractions = np.linspace(0.0, 1.0, points)
+    indices = np.minimum((fractions * (array.size - 1)).astype(int), array.size - 1)
+    return [(float(array[i]), float(f)) for i, f in zip(indices, fractions)]
+
+
+def ratio(a: float, b: float) -> float:
+    """``a / b`` with NaN protection (NaN when either side is invalid)."""
+    if b == 0 or np.isnan(a) or np.isnan(b):
+        return float("nan")
+    return a / b

@@ -1,0 +1,14 @@
+"""Query library: fluent builder and the evaluation queries IPQ1-IPQ4."""
+
+from repro.queries.builder import QueryBuildError, QueryBuilder
+from repro.queries.ipq import all_ipqs, ipq1, ipq2, ipq3, ipq4
+
+__all__ = [
+    "QueryBuildError",
+    "QueryBuilder",
+    "all_ipqs",
+    "ipq1",
+    "ipq2",
+    "ipq3",
+    "ipq4",
+]

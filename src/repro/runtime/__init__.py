@@ -1,0 +1,19 @@
+"""Runtime: binds dataflow jobs to the simulated cluster under a scheduler."""
+
+from repro.runtime.baselines import FifoRunQueue, OrleansRunQueue
+from repro.runtime.config import EngineConfig
+from repro.runtime.engine import OperatorRuntime, Route, StreamEngine
+from repro.runtime.placement import Placement
+from repro.runtime.workers import Node, Worker
+
+__all__ = [
+    "EngineConfig",
+    "FifoRunQueue",
+    "Node",
+    "OperatorRuntime",
+    "OrleansRunQueue",
+    "Placement",
+    "Route",
+    "StreamEngine",
+    "Worker",
+]

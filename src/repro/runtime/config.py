@@ -1,0 +1,111 @@
+"""Engine configuration.
+
+One dataclass gathers every knob the evaluation sweeps: scheduler choice,
+policy, quantum (§5.2), cluster shape, network delays, profiling noise
+(Fig. 16), and semantics awareness (Fig. 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+SCHEDULERS = ("cameo", "orleans", "fifo")
+POLICIES = ("llf", "edf", "sjf", "constant", "token")
+
+
+@dataclass
+class EngineConfig:
+    """Configuration for a :class:`~repro.runtime.engine.StreamEngine` run.
+
+    Attributes:
+        scheduler: ``"cameo"`` (two-level priority queue), ``"orleans"``
+            (thread-local-first bag, the default Orleans behaviour), or
+            ``"fifo"`` (one global FIFO run queue of operators).
+        policy: priority policy used when ``scheduler == "cameo"``.
+        policy_kwargs: extra constructor args (e.g. token rates).
+        nodes / workers_per_node: cluster shape.  Workers model vCPUs.
+        quantum: minimum re-scheduling grain in seconds (paper default 1 ms).
+        use_query_semantics: disable for the Fig. 15 ablation.
+        generate_contexts: build PCs/RCs and run profiling.  Defaults to on
+            for Cameo and off for the baselines; ``None`` keeps that
+            default, an explicit bool overrides it (Fig. 12 measures the
+            cost of turning it on).
+        local_delay / remote_delay: message transit times within a node and
+            across nodes (clients count as remote).
+        network_jitter_sigma: lognormal jitter on transit times (0 =
+            deterministic delays); sigma is in log-space, ~0.3 gives a
+            realistic long-tailed network.
+        profile_noise_sigma: std-dev of N(0, sigma) perturbation applied to
+            profiled costs (Fig. 16).
+        profiler_alpha: EWMA weight for online cost profiling.
+        placement: ``"round_robin"`` (collocates tenants, the multi-tenant
+            setting) or ``"pack_by_job"``.
+        progress_window: observation window of the PROGRESSMAP regression.
+        record_schedule_timeline: keep (time, operator, progress) tuples for
+            every message start (Fig. 7c); off by default to save memory.
+        switch_cost: worker-side cost (seconds) of switching to a different
+            operator activation — models the cache/context-switch penalty
+            that makes very fine scheduling quanta expensive (Fig. 14).
+        starvation_aging: optional deadline-aging knob (seconds of priority
+            credit per second of waiting) — extension discussed in §6.3;
+            0 disables it.
+        source_mailbox_capacity: optional bound on messages queued at a
+            source operator.  When full, further client messages wait in an
+            order-preserving blocked queue (ingestion back-pressure) instead
+            of growing the mailbox without bound.  None = unbounded.
+    """
+
+    scheduler: str = "cameo"
+    policy: str = "llf"
+    policy_kwargs: dict = field(default_factory=dict)
+    nodes: int = 1
+    workers_per_node: int = 4
+    quantum: float = 0.001
+    use_query_semantics: bool = True
+    generate_contexts: Optional[bool] = None
+    local_delay: float = 0.00002
+    remote_delay: float = 0.0005
+    network_jitter_sigma: float = 0.0
+    profile_noise_sigma: float = 0.0
+    profiler_alpha: float = 0.2
+    placement: str = "round_robin"
+    progress_window: int = 64
+    record_schedule_timeline: bool = False
+    switch_cost: float = 0.0
+    starvation_aging: float = 0.0
+    source_mailbox_capacity: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(f"unknown scheduler {self.scheduler!r}; expected {SCHEDULERS}")
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown policy {self.policy!r}; expected {POLICIES}")
+        if self.nodes < 1 or self.workers_per_node < 1:
+            raise ValueError("cluster must have at least one node and one worker")
+        if self.quantum < 0:
+            raise ValueError("quantum must be non-negative")
+        if self.local_delay < 0 or self.remote_delay < 0:
+            raise ValueError("network delays must be non-negative")
+        if self.network_jitter_sigma < 0:
+            raise ValueError("network jitter sigma must be non-negative")
+        if self.profile_noise_sigma < 0:
+            raise ValueError("profile noise sigma must be non-negative")
+        if self.switch_cost < 0:
+            raise ValueError("switch cost must be non-negative")
+        if self.starvation_aging < 0:
+            raise ValueError("starvation aging must be non-negative")
+        if self.source_mailbox_capacity is not None and self.source_mailbox_capacity < 1:
+            raise ValueError("source mailbox capacity must be >= 1")
+
+    @property
+    def contexts_enabled(self) -> bool:
+        """Whether PCs/RCs are generated (see ``generate_contexts``)."""
+        if self.generate_contexts is not None:
+            return self.generate_contexts
+        return self.scheduler == "cameo"
+
+    @property
+    def total_workers(self) -> int:
+        return self.nodes * self.workers_per_node

@@ -1,0 +1,639 @@
+"""StreamEngine: executes dataflow jobs on the simulated actor cluster.
+
+The engine owns everything the paper's runtime does:
+
+* builds one :class:`OperatorRuntime` per (job, stage, parallel index) and
+  places them on nodes,
+* wires channels (with per-channel FIFO delivery, §4.3) and input-channel
+  indices, including the ingestion clients in front of source operators,
+* embeds a context converter in every operator (and client) when contexts
+  are enabled (§5.2 / Fig. 5a),
+* drives the worker loop: pop operator by the node scheduler's order, run
+  messages for a quantum, preemption check, requeue (§5.2 / Fig. 5b),
+* routes emissions (key partitioning with progress heartbeats, or fixed
+  round-robin pairing), sends RC-carrying acknowledgements upstream, and
+* records latency/throughput/violation metrics at sinks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core.context import PriorityContext
+from repro.core.converter import ContextConverter
+from repro.core.policies import make_policy
+from repro.core.profiler import CostProfiler, GaussianNoiseInjector
+from repro.core.progress_map import make_progress_map
+from repro.core.scheduler import CameoRunQueue, Mailbox, RunQueue
+from repro.dataflow.events import EventBatch
+from repro.dataflow.graph import StageSpec
+from repro.dataflow.jobs import JobSpec
+from repro.dataflow.messages import Message, MessageKind
+from repro.dataflow.operators import (
+    Emission,
+    OpAddress,
+    SinkOperator,
+    SourceOperator,
+    WindowedJoinOperator,
+)
+from repro.metrics.collectors import MetricsHub, TimelinePoint
+from repro.runtime.baselines import FifoRunQueue, OrleansRunQueue
+from repro.runtime.config import EngineConfig
+from repro.runtime.placement import Placement
+from repro.runtime.workers import Node, Worker
+from repro.sim.kernel import Simulator
+from repro.sim.network import ChannelTable, ConstantDelay, JitteredDelay
+from repro.sim.rng import RngRegistry
+
+
+@dataclass
+class Route:
+    """Out-edge of an operator: where its emissions go."""
+
+    dst_stage: StageSpec
+    targets: list["OperatorRuntime"]
+    key_partitioned: bool
+
+
+class OperatorRuntime:
+    """An operator bound to a node, a mailbox and a context converter."""
+
+    __slots__ = (
+        "operator",
+        "stage",
+        "job",
+        "node_id",
+        "mailbox",
+        "converter",
+        "routes",
+        "busy",
+        "queue_token",
+        "in_queue",
+        "blocked",
+        "_channel_index",
+        "_channel_senders",
+    )
+
+    def __init__(
+        self,
+        operator,
+        stage: StageSpec,
+        job: JobSpec,
+        node_id: int,
+        mailbox: Mailbox,
+        converter: Optional[ContextConverter],
+    ):
+        self.operator = operator
+        self.stage = stage
+        self.job = job
+        self.node_id = node_id
+        self.mailbox = mailbox
+        self.converter = converter
+        self.routes: list[Route] = []
+        self.busy = False
+        self.queue_token = -1
+        self.in_queue = False
+        #: client messages held back by ingestion back-pressure (FIFO)
+        self.blocked: deque = deque()
+        self._channel_index: dict[Any, int] = {}
+        self._channel_senders: list[Any] = []
+
+    @property
+    def address(self) -> OpAddress:
+        return self.operator.address
+
+    def register_input(self, sender_key: Any) -> int:
+        """Assign (or fetch) the input channel index for a sender."""
+        index = self._channel_index.get(sender_key)
+        if index is None:
+            index = len(self._channel_senders)
+            self._channel_index[sender_key] = index
+            self._channel_senders.append(sender_key)
+        return index
+
+    def channel_index_of(self, sender_key: Any) -> int:
+        return self._channel_index[sender_key]
+
+    @property
+    def input_channel_count(self) -> int:
+        return len(self._channel_senders)
+
+    @property
+    def channel_senders(self) -> list[Any]:
+        return list(self._channel_senders)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OperatorRuntime({self.address})"
+
+
+def _client_key(job: str, stage: str, index: int) -> tuple:
+    """Address of the ingestion client feeding a source operator."""
+    return ("client", job, stage, index)
+
+
+class StreamEngine:
+    """Runs a set of jobs on a simulated cluster under one scheduler.
+
+    ``policy`` overrides the policy named in the config with a custom
+    :class:`~repro.core.policies.SchedulingPolicy` instance — the hook for
+    user-defined priority generation (§5.4)."""
+
+    def __init__(self, config: EngineConfig, jobs: list[JobSpec], policy=None):
+        names = [j.name for j in jobs]
+        if len(set(names)) != len(names):
+            raise ValueError("job names must be unique")
+        self.config = config
+        self.jobs = {j.name: j for j in jobs}
+        self.sim = Simulator()
+        self.rng = RngRegistry(config.seed)
+        self.metrics = MetricsHub()
+        self.channels = ChannelTable()
+        noise = None
+        if config.profile_noise_sigma > 0:
+            noise = GaussianNoiseInjector(
+                config.profile_noise_sigma, self.rng.stream("profile-noise")
+            )
+        self.profiler = CostProfiler(alpha=config.profiler_alpha, noise=noise)
+        self.policy = policy or make_policy(config.policy, **config.policy_kwargs)
+        self._contexts = config.contexts_enabled
+        self._cost_rng = self.rng.stream("exec-cost")
+        if config.network_jitter_sigma > 0:
+            self._delay_model = JitteredDelay(
+                self.rng.stream("network"),
+                local=config.local_delay,
+                remote=config.remote_delay,
+                sigma=config.network_jitter_sigma,
+            )
+        else:
+            self._delay_model = ConstantDelay(
+                local=config.local_delay, remote=config.remote_delay
+            )
+        self.nodes: list[Node] = [
+            Node(node_id=i, run_queue=self._make_run_queue())
+            for i in range(config.nodes)
+        ]
+        for node in self.nodes:
+            node.workers = [
+                Worker(node_id=node.node_id, local_id=w)
+                for w in range(config.workers_per_node)
+            ]
+        self._ops: dict[OpAddress, OperatorRuntime] = {}
+        self._client_converters: dict[tuple, ContextConverter] = {}
+        self._build_operators()
+        self._wire_edges()
+        self._finalize_wiring()
+        for job in jobs:
+            self.metrics.register_job(job.name, job.group, job.latency_constraint)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _make_run_queue(self) -> RunQueue:
+        if self.config.scheduler == "cameo":
+            return CameoRunQueue(
+                clock=lambda: self.sim.now, aging=self.config.starvation_aging
+            )
+        if self.config.scheduler == "fifo":
+            return FifoRunQueue()
+        return OrleansRunQueue(self.config.workers_per_node)
+
+    def _build_operators(self) -> None:
+        addresses: list[OpAddress] = []
+        for job in self.jobs.values():
+            for stage_name in job.graph.stage_names:
+                stage = job.graph.stage(stage_name)
+                for index in range(stage.parallelism):
+                    addresses.append(OpAddress(job.name, stage_name, index))
+        placement = Placement(self.config.placement, self.config.nodes)
+        node_of = placement.assign(addresses)
+        for address in addresses:
+            job = self.jobs[address.job]
+            stage = job.graph.stage(address.stage)
+            node_id = node_of[address]
+            mailbox = self.nodes[node_id].run_queue.create_mailbox()
+            converter = self._make_converter(job, stage) if self._contexts else None
+            operator = stage.build_operator(job.name, address.index)
+            self._ops[address] = OperatorRuntime(
+                operator, stage, job, node_id, mailbox, converter
+            )
+            self.profiler.seed(address, stage.cost.nominal(0))
+
+    def _make_converter(
+        self, job: JobSpec, stage: Optional[StageSpec], source_index: int = 0
+    ) -> ContextConverter:
+        return ContextConverter(
+            job_name=job.name,
+            latency_constraint=job.latency_constraint,
+            own_window=stage.window if stage is not None else None,
+            policy=self.policy,
+            progress_map=make_progress_map(job.time_domain, self.config.progress_window),
+            use_query_semantics=self.config.use_query_semantics,
+            source_index=source_index,
+        )
+
+    def _wire_edges(self) -> None:
+        for job in self.jobs.values():
+            graph = job.graph
+            for src_name in graph.stage_names:
+                src_stage = graph.stage(src_name)
+                for dst_name in graph.downstream(src_name):
+                    dst_stage = graph.stage(dst_name)
+                    for src_index in range(src_stage.parallelism):
+                        src_rt = self._ops[OpAddress(job.name, src_name, src_index)]
+                        if dst_stage.key_partitioned:
+                            targets = [
+                                self._ops[OpAddress(job.name, dst_name, j)]
+                                for j in range(dst_stage.parallelism)
+                            ]
+                        else:
+                            j = src_index % dst_stage.parallelism
+                            targets = [self._ops[OpAddress(job.name, dst_name, j)]]
+                        src_rt.routes.append(
+                            Route(dst_stage, targets, dst_stage.key_partitioned)
+                        )
+                        for target in targets:
+                            target.register_input(src_rt.address)
+            # ingestion clients feed every source operator
+            for stage_name in graph.source_stages:
+                stage = graph.stage(stage_name)
+                for index in range(stage.parallelism):
+                    key = _client_key(job.name, stage_name, index)
+                    self._ops[OpAddress(job.name, stage_name, index)].register_input(key)
+                    if self._contexts:
+                        self._client_converters[key] = self._make_converter(
+                            job, None, source_index=index
+                        )
+
+    def _finalize_wiring(self) -> None:
+        for op_rt in self._ops.values():
+            op_rt.operator.wire_inputs(max(1, op_rt.input_channel_count))
+            if isinstance(op_rt.operator, WindowedJoinOperator):
+                graph = op_rt.job.graph
+                left_stage = graph.upstream(op_rt.stage.name)[0]
+                sides = [
+                    0 if getattr(sender, "stage", None) == left_stage else 1
+                    for sender in op_rt.channel_senders
+                ]
+                op_rt.operator.set_channel_sides(sides)
+            if op_rt.converter is not None:
+                self._seed_converter(op_rt.converter, op_rt.job, op_rt.stage.name)
+        for key, converter in self._client_converters.items():
+            _, job_name, stage_name, _ = key
+            job = self.jobs[job_name]
+            # the client's "downstream" is the source stage itself
+            converter.seed_reply_state(
+                stage_name,
+                job.graph.stage(stage_name).cost.nominal(0),
+                job.graph.critical_path_cost(stage_name),
+            )
+
+    def _seed_converter(self, converter: ContextConverter, job: JobSpec, stage_name: str) -> None:
+        for dst_name in job.graph.downstream(stage_name):
+            converter.seed_reply_state(
+                dst_name,
+                job.graph.stage(dst_name).cost.nominal(0),
+                job.graph.critical_path_cost(dst_name),
+            )
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def operator_runtime(self, address: OpAddress) -> OperatorRuntime:
+        return self._ops[address]
+
+    @property
+    def operator_runtimes(self) -> list[OperatorRuntime]:
+        return list(self._ops.values())
+
+    def ingest(
+        self,
+        job_name: str,
+        stage_name: str,
+        source_index: int,
+        logical_times,
+        values=None,
+        keys=None,
+    ) -> None:
+        """Deliver a batch of external events to a source operator.
+
+        For event-time jobs the given logical times are kept; for
+        ingestion-time jobs the logical time of every event is the arrival
+        instant (§4.3).
+        """
+        now = self.sim.now
+        job = self.jobs[job_name]
+        count = len(logical_times)
+        if job.time_domain == "ingestion":
+            logical_times = np.full(count, now)
+        batch = EventBatch(
+            logical_times, values, keys, arrival_time=now, source_id=source_index
+        )
+        src_rt = self._ops[OpAddress(job_name, stage_name, source_index)]
+        key = _client_key(job_name, stage_name, source_index)
+        pc = None
+        if self._contexts:
+            converter = self._client_converters[key]
+            pc = converter.build(
+                p=batch.max_logical_time,
+                t=now,
+                now=now,
+                target_stage=stage_name,
+                target_window=src_rt.stage.window,
+                tuple_count=count,
+                at_source=True,
+            )
+        msg = Message(
+            target=src_rt.address,
+            batch=batch,
+            p=batch.max_logical_time,
+            t=now,
+            deps_arrival=now,
+            sender=key,
+            pc=pc,
+            channel_index=src_rt.channel_index_of(key),
+        )
+        self.metrics.job(job_name).tuples_ingested += count
+        # clients are remote machines (node id -1 never matches a node)
+        transit = self._delay_model.delay(-1, src_rt.node_id)
+        arrival = self.channels.channel(key, src_rt.address).deliver_time(now, transit)
+        self.sim.schedule_at(arrival, self._deliver, src_rt, msg, None)
+
+    def run(self, until: float) -> None:
+        """Run the simulation until the given time, then finalize metrics."""
+        self.sim.run(until=until)
+        for node in self.nodes:
+            for worker in node.workers:
+                self.metrics.record_worker_busy(
+                    node.node_id, worker.local_id, worker.busy_time
+                )
+
+    # ------------------------------------------------------------------
+    # elastic worker pools
+    # ------------------------------------------------------------------
+
+    def add_worker(self, node_id: int) -> Worker:
+        """Grow a node's worker pool at the current simulation time."""
+        node = self.nodes[node_id]
+        worker = Worker(node_id=node_id, local_id=len(node.workers),
+                        created_at=self.sim.now)
+        node.workers.append(worker)
+        if isinstance(node.run_queue, OrleansRunQueue):
+            node.run_queue.add_worker_slot()
+        self._wake_idle_worker(node)  # pick up any pending work immediately
+        return worker
+
+    def retire_worker(self, node_id: int) -> Optional[Worker]:
+        """Shrink a node's pool: the last active worker finishes its current
+        message and then stops.  Returns the retired worker, or None if the
+        node is down to one active worker (never retire the last)."""
+        node = self.nodes[node_id]
+        active = [w for w in node.workers if not w.retired]
+        if len(active) <= 1:
+            return None
+        worker = active[-1]
+        worker.retired = True
+        worker.retired_at = self.sim.now
+        return worker
+
+    def worker_seconds(self, horizon: float) -> float:
+        """Total worker-seconds provisioned in [0, horizon] (cost proxy)."""
+        return sum(
+            w.lifetime(horizon) for node in self.nodes for w in node.workers
+        )
+
+    # ------------------------------------------------------------------
+    # delivery and worker loop
+    # ------------------------------------------------------------------
+
+    def _deliver(
+        self, op_rt: OperatorRuntime, msg: Message, producer: Optional[Worker]
+    ) -> None:
+        capacity = self.config.source_mailbox_capacity
+        if (
+            capacity is not None
+            and isinstance(op_rt.operator, SourceOperator)
+            and (op_rt.blocked or len(op_rt.mailbox) >= capacity)
+        ):
+            # ingestion back-pressure: hold the message in arrival order
+            # until the source's mailbox drains below capacity
+            op_rt.blocked.append(msg)
+            self.metrics.job(op_rt.job.name).backpressure_events += 1
+            return
+        msg.enqueue_time = self.sim.now
+        op_rt.mailbox.push(msg)
+        if isinstance(op_rt.operator, SourceOperator):
+            job_metrics = self.metrics.job(op_rt.job.name)
+            size = len(op_rt.mailbox)
+            if size > job_metrics.max_source_mailbox:
+                job_metrics.max_source_mailbox = size
+        node = self.nodes[op_rt.node_id]
+        hint = None
+        if producer is not None and producer.node_id == op_rt.node_id:
+            hint = producer.local_id
+        node.run_queue.notify(op_rt, self.sim.now, hint)
+        self._wake_idle_worker(node)
+
+    def _wake_idle_worker(self, node: Node) -> None:
+        worker = node.idle_worker()
+        if worker is not None:
+            worker.wake_scheduled = True
+            self.sim.schedule(0.0, self._worker_wake, worker)
+
+    def _worker_wake(self, worker: Worker) -> None:
+        worker.wake_scheduled = False
+        if worker.idle:
+            worker.idle = False
+            self._worker_next(worker)
+
+    def _worker_next(self, worker: Worker) -> None:
+        if worker.retired:
+            worker.idle = True
+            worker.current_op = None
+            return
+        node = self.nodes[worker.node_id]
+        op_rt = node.run_queue.pop(worker.local_id)
+        if op_rt is None:
+            worker.idle = True
+            worker.current_op = None
+            return
+        op_rt.busy = True
+        worker.current_op = op_rt
+        worker.quantum_start = self.sim.now
+        switch_cost = self.config.switch_cost
+        if switch_cost > 0 and worker.last_op is not op_rt:
+            # activation switch penalty (cache refill / scheduling work)
+            worker.switches += 1
+            worker.busy_time += switch_cost
+            worker.last_op = op_rt
+            self.sim.schedule(switch_cost, self._start_message, worker, op_rt)
+            return
+        worker.last_op = op_rt
+        self._start_message(worker, op_rt)
+
+    def _start_message(self, worker: Worker, op_rt: OperatorRuntime) -> None:
+        now = self.sim.now
+        msg = op_rt.mailbox.pop()
+        if op_rt.blocked:
+            capacity = self.config.source_mailbox_capacity
+            if capacity is not None and len(op_rt.mailbox) < capacity:
+                released = op_rt.blocked.popleft()
+                released.enqueue_time = now
+                op_rt.mailbox.push(released)
+        job_metrics = self.metrics.job(op_rt.job.name)
+        if msg.enqueue_time == msg.enqueue_time:  # not NaN
+            job_metrics.record_queueing(op_rt.stage.name, now - msg.enqueue_time)
+        if msg.pc is not None and now > msg.pc.deadline:
+            job_metrics.start_violations += 1
+        if self.config.record_schedule_timeline:
+            self.metrics.timeline.append(
+                TimelinePoint(
+                    time=now,
+                    job=op_rt.job.name,
+                    stage=op_rt.stage.name,
+                    operator_index=op_rt.address.index,
+                    progress=msg.p,
+                )
+            )
+        cost = op_rt.stage.cost.sample(msg.tuple_count, self._cost_rng)
+        job_metrics.record_execution(op_rt.stage.name, cost)
+        self.sim.schedule(cost, self._complete_message, worker, op_rt, msg, cost)
+
+    def _complete_message(
+        self, worker: Worker, op_rt: OperatorRuntime, msg: Message, cost: float
+    ) -> None:
+        now = self.sim.now
+        worker.busy_time += cost
+        worker.messages_executed += 1
+        job_metrics = self.metrics.job(op_rt.job.name)
+        job_metrics.messages_processed += 1
+        self.metrics.total_messages += 1
+        emissions = op_rt.operator.on_message(msg, now)
+        if isinstance(op_rt.operator, SinkOperator) and msg.batch is not None and len(msg.batch) > 0:
+            job_metrics.record_output(
+                now, now - msg.t, msg.tuple_count, float(msg.batch.values.sum())
+            )
+        elif isinstance(op_rt.operator, SourceOperator):
+            job_metrics.tuples_processed += msg.tuple_count
+            job_metrics.source_events.append((now, msg.tuple_count))
+        if self._contexts:
+            self.profiler.record(op_rt.address, cost)
+            self._send_reply(op_rt, msg)
+        if emissions:
+            self._route_emissions(op_rt, msg, emissions, worker)
+        self._continue_worker(worker, op_rt)
+
+    def _continue_worker(self, worker: Worker, op_rt: OperatorRuntime) -> None:
+        now = self.sim.now
+        node = self.nodes[worker.node_id]
+        if len(op_rt.mailbox) == 0:
+            op_rt.busy = False
+            self._worker_next(worker)
+            return
+        if now - worker.quantum_start >= self.config.quantum:
+            if node.run_queue.should_swap(op_rt):
+                op_rt.busy = False
+                node.run_queue.requeue(op_rt, worker.local_id)
+                self._worker_next(worker)
+                return
+            worker.quantum_start = now  # start a fresh quantum on the same operator
+        self._start_message(worker, op_rt)
+
+    # ------------------------------------------------------------------
+    # emission routing and reply contexts
+    # ------------------------------------------------------------------
+
+    def _route_emissions(
+        self,
+        src_rt: OperatorRuntime,
+        trigger: Message,
+        emissions: list[Emission],
+        worker: Worker,
+    ) -> None:
+        for route in src_rt.routes:
+            for emission in emissions:
+                if route.key_partitioned and len(route.targets) > 1:
+                    parallelism = len(route.targets)
+                    partition = emission.batch.keys % parallelism
+                    for j, dst_rt in enumerate(route.targets):
+                        sub = emission.batch.select(partition == j)
+                        self._send(src_rt, dst_rt, sub, emission, trigger, worker)
+                else:
+                    for dst_rt in route.targets:
+                        self._send(
+                            src_rt, dst_rt, emission.batch, emission, trigger, worker
+                        )
+
+    def _send(
+        self,
+        src_rt: OperatorRuntime,
+        dst_rt: OperatorRuntime,
+        batch: EventBatch,
+        emission: Emission,
+        trigger: Message,
+        worker: Worker,
+    ) -> None:
+        if len(batch) == 0 and not dst_rt.stage.is_windowed:
+            # only windowed operators consume progress heartbeats
+            return
+        now = self.sim.now
+        pc: Optional[PriorityContext] = None
+        if self._contexts and src_rt.converter is not None:
+            pc = src_rt.converter.build(
+                p=emission.progress,
+                t=emission.arrival,
+                now=now,
+                target_stage=dst_rt.stage.name,
+                target_window=dst_rt.stage.window,
+                tuple_count=len(batch),
+                inherited=trigger.pc,
+                at_source=False,
+            )
+        out = Message(
+            target=dst_rt.address,
+            batch=batch,
+            p=emission.progress,
+            t=emission.arrival,
+            deps_arrival=emission.arrival,
+            sender=src_rt.address,
+            pc=pc,
+            channel_index=dst_rt.channel_index_of(src_rt.address),
+        )
+        transit = self._delay_model.delay(src_rt.node_id, dst_rt.node_id)
+        arrival = self.channels.channel(src_rt.address, dst_rt.address).deliver_time(
+            now, transit
+        )
+        self.sim.schedule_at(arrival, self._deliver, dst_rt, out, worker)
+
+    def _send_reply(self, op_rt: OperatorRuntime, msg: Message) -> None:
+        """PREPAREREPLY at ``op_rt`` → PROCESSCTXFROMREPLY at the sender.
+
+        Acknowledgements carry no data and execute no operator logic, so
+        they bypass the run queue; they still pay the network delay
+        (Fig. 5a steps 5-6)."""
+        if msg.kind is not MessageKind.DATA or msg.sender is None:
+            return
+        if op_rt.converter is None:
+            return
+        rc = op_rt.converter.prepare_reply(self.profiler.estimate(op_rt.address))
+        rc.mailbox_size = len(op_rt.mailbox)
+        if msg.enqueue_time == msg.enqueue_time:  # not NaN
+            rc.queueing_delay = max(0.0, self.sim.now - msg.enqueue_time)
+        self.metrics.total_acks += 1
+        sender = msg.sender
+        stage_name = op_rt.stage.name
+        if isinstance(sender, tuple) and sender and sender[0] == "client":
+            converter = self._client_converters.get(sender)
+            delay = self._delay_model.delay(op_rt.node_id, -1)
+        else:
+            sender_rt = self._ops[sender]
+            converter = sender_rt.converter
+            delay = self._delay_model.delay(op_rt.node_id, sender_rt.node_id)
+        if converter is None:
+            return
+        self.sim.schedule(delay, converter.process_reply, stage_name, rc)

@@ -1,0 +1,103 @@
+"""Network delay models with per-channel FIFO (in-order) delivery.
+
+The paper's runtime "provides channel-wise guarantee of in-order processing
+for all target operators" (§4.3) — Cameo's PROGRESSMAP regression relies on
+it.  :class:`FifoChannel` enforces that: a message handed to the channel is
+delivered no earlier than any message handed to it before.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+class DelayModel:
+    """Base class: wall-clock transit delay between two cluster nodes."""
+
+    def delay(self, src_node: int, dst_node: int) -> float:
+        raise NotImplementedError
+
+
+@dataclass
+class ConstantDelay(DelayModel):
+    """Fixed local/remote delays (seconds)."""
+
+    local: float = 0.0
+    remote: float = 0.0005
+
+    def delay(self, src_node: int, dst_node: int) -> float:
+        return self.local if src_node == dst_node else self.remote
+
+
+class JitteredDelay(DelayModel):
+    """Lognormal jitter around base local/remote delays.
+
+    Mean transit time is ``base * exp(sigma^2 / 2)``; sigma=0 degrades to
+    :class:`ConstantDelay`.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        local: float = 0.00005,
+        remote: float = 0.0005,
+        sigma: float = 0.3,
+    ):
+        if local < 0 or remote < 0:
+            raise ValueError("delays must be non-negative")
+        self._rng = rng
+        self._local = local
+        self._remote = remote
+        self._sigma = sigma
+
+    def delay(self, src_node: int, dst_node: int) -> float:
+        base = self._local if src_node == dst_node else self._remote
+        if self._sigma == 0.0 or base == 0.0:
+            return base
+        return float(base * self._rng.lognormal(mean=0.0, sigma=self._sigma))
+
+
+class FifoChannel:
+    """Per (upstream-operator, downstream-operator) ordered delivery.
+
+    ``deliver_time(now, transit)`` returns the wall-clock instant at which a
+    message sent *now* with the given transit delay arrives, clamped so that
+    deliveries never reorder.
+    """
+
+    __slots__ = ("_last_delivery",)
+
+    def __init__(self):
+        self._last_delivery: float = float("-inf")
+
+    @property
+    def last_delivery(self) -> float:
+        return self._last_delivery
+
+    def deliver_time(self, now: float, transit: float) -> float:
+        if transit < 0:
+            raise ValueError("transit delay must be non-negative")
+        arrival = max(now + transit, self._last_delivery)
+        self._last_delivery = arrival
+        return arrival
+
+
+class ChannelTable:
+    """Lazily-created :class:`FifoChannel` per directed (src, dst) pair."""
+
+    def __init__(self):
+        self._channels: dict[tuple, FifoChannel] = {}
+
+    def channel(self, src_key, dst_key) -> FifoChannel:
+        key = (src_key, dst_key)
+        chan = self._channels.get(key)
+        if chan is None:
+            chan = FifoChannel()
+            self._channels[key] = chan
+        return chan
+
+    def __len__(self) -> int:
+        return len(self._channels)

@@ -1,0 +1,55 @@
+"""Workload generation: arrivals, synthetic traces, tenant job factories."""
+
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    BatchSizer,
+    FixedBatchSize,
+    ParetoBatchSize,
+    PeriodicArrivals,
+    PoissonArrivals,
+    RateTimelineArrivals,
+    SourceDriver,
+    drive_all_sources,
+)
+from repro.workloads.tenants import (
+    AGG_COST,
+    JOIN_COST,
+    SINK_COST,
+    SOURCE_COST,
+    make_aggregation_job,
+    make_bulk_analytics_job,
+    make_join_job,
+    make_latency_sensitive_job,
+)
+from repro.workloads.trace import (
+    SkewedWorkload,
+    ingestion_heatmap,
+    make_skewed_workload,
+    power_law_volumes,
+    top_k_share,
+)
+
+__all__ = [
+    "AGG_COST",
+    "ArrivalProcess",
+    "BatchSizer",
+    "FixedBatchSize",
+    "JOIN_COST",
+    "ParetoBatchSize",
+    "PeriodicArrivals",
+    "PoissonArrivals",
+    "RateTimelineArrivals",
+    "SINK_COST",
+    "SOURCE_COST",
+    "SkewedWorkload",
+    "SourceDriver",
+    "drive_all_sources",
+    "ingestion_heatmap",
+    "make_aggregation_job",
+    "make_bulk_analytics_job",
+    "make_join_job",
+    "make_latency_sensitive_job",
+    "make_skewed_workload",
+    "power_law_volumes",
+    "top_k_share",
+]

@@ -1,0 +1,248 @@
+"""Arrival processes, batch sizers and source drivers.
+
+A :class:`SourceDriver` binds one source operator of a job to an arrival
+process (when messages are ingested) and a batch sizer (how many tuples
+each message carries).  Drivers re-schedule themselves on the simulation
+clock, so arbitrarily long runs keep the event heap small.
+
+The processes cover the paper's workloads: periodic sparse sources
+(Group 1, §6), high-rate periodic sources (Group 2), Pareto-volume arrivals
+(Fig. 9) and piecewise-constant rate timelines replaying trace-derived
+skew (Fig. 10) and spikes (Fig. 2c).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.dataflow.jobs import JobSpec
+from repro.runtime.engine import StreamEngine
+
+
+class ArrivalProcess:
+    """Generates inter-arrival intervals (seconds)."""
+
+    def next_interval(self, rng: np.random.Generator, now: float) -> float:
+        raise NotImplementedError
+
+
+class PeriodicArrivals(ArrivalProcess):
+    """Fixed-period arrivals (Group 1's "1 msg/s per source")."""
+
+    def __init__(self, period: float):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.period = period
+
+    def next_interval(self, rng: np.random.Generator, now: float) -> float:
+        return self.period
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Exponential inter-arrivals with the given mean rate (messages/s)."""
+
+    def __init__(self, rate: float):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+
+    def next_interval(self, rng: np.random.Generator, now: float) -> float:
+        return float(rng.exponential(1.0 / self.rate))
+
+
+class RateTimelineArrivals(ArrivalProcess):
+    """Piecewise-constant rate: ``rates[i]`` messages/s during second ``i``.
+
+    Zero-rate intervals are skipped (idle periods, Fig. 2c).  The timeline
+    repeats when the run outlasts it.
+    """
+
+    def __init__(self, rates: Sequence[float], interval: float = 1.0):
+        rates = [float(r) for r in rates]
+        if not rates or all(r <= 0 for r in rates):
+            raise ValueError("rate timeline needs at least one positive rate")
+        if any(r < 0 for r in rates):
+            raise ValueError("rates must be non-negative")
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.rates = rates
+        self.interval = interval
+
+    def rate_at(self, now: float) -> float:
+        index = int(now // self.interval) % len(self.rates)
+        return self.rates[index]
+
+    def next_interval(self, rng: np.random.Generator, now: float) -> float:
+        # walk forward over idle intervals until a positive-rate one
+        time = now
+        for _ in range(len(self.rates) + 1):
+            rate = self.rate_at(time)
+            if rate > 0:
+                gap = 1.0 / rate
+                if time == now:
+                    return gap
+                return (time - now) + gap
+            # jump to the start of the next interval
+            time = (math.floor(time / self.interval) + 1) * self.interval
+        raise RuntimeError("unreachable: timeline has a positive rate")  # pragma: no cover
+
+
+class BatchSizer:
+    """Number of tuples carried by each ingested message."""
+
+    def size(self, rng: np.random.Generator) -> int:
+        raise NotImplementedError
+
+
+class FixedBatchSize(BatchSizer):
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("batch size must be at least 1")
+        self.n = n
+
+    def size(self, rng: np.random.Generator) -> int:
+        return self.n
+
+
+class ParetoBatchSize(BatchSizer):
+    """Heavy-tailed batch sizes: ``scale * Pareto(shape)``, capped.
+
+    Models the Power-Law-like data volume distribution of Figs. 2(a)/9.
+    """
+
+    def __init__(self, shape: float = 1.5, scale: float = 200.0, cap: int = 100_000):
+        if shape <= 0 or scale <= 0:
+            raise ValueError("shape and scale must be positive")
+        if cap < 1:
+            raise ValueError("cap must be at least 1")
+        self.shape = shape
+        self.scale = scale
+        self.cap = cap
+
+    def size(self, rng: np.random.Generator) -> int:
+        raw = self.scale * (1.0 + rng.pareto(self.shape))
+        return int(max(1, min(self.cap, raw)))
+
+
+class SourceDriver:
+    """Feeds one source operator with generated batches.
+
+    Args:
+        engine: the engine to ingest into.
+        job: the driven job.
+        stage_name: source stage (defaults to the graph's first source).
+        index: source operator index within the stage.
+        arrivals: inter-arrival process.
+        sizer: tuples per message.
+        key_count: keys drawn uniformly from ``[0, key_count)``.
+        start / until: active window of the driver in simulation time.
+        phase: added to event logical times — shifts which wall-clock
+            instants windows trigger at (interleaved triggers, Fig. 14).
+    """
+
+    def __init__(
+        self,
+        engine: StreamEngine,
+        job: JobSpec,
+        arrivals: ArrivalProcess,
+        sizer: BatchSizer = FixedBatchSize(1000),
+        stage_name: Optional[str] = None,
+        index: int = 0,
+        key_count: int = 8,
+        start: float = 0.0,
+        until: float = float("inf"),
+        phase: float = 0.0,
+    ):
+        if key_count < 1:
+            raise ValueError("key_count must be at least 1")
+        self.engine = engine
+        self.job = job
+        self.stage_name = stage_name or job.graph.source_stages[0]
+        self.index = index
+        self.arrivals = arrivals
+        self.sizer = sizer
+        self.key_count = key_count
+        self.start_time = start
+        self.until = until
+        self.phase = phase
+        self.messages_sent = 0
+        self.tuples_sent = 0
+        self._last_logical = start - job.ingestion_delay + phase
+        self._rng = engine.rng.stream(
+            f"arrivals/{job.name}/{self.stage_name}/{index}"
+        )
+
+    def install(self) -> "SourceDriver":
+        """Schedule the first arrival; returns self for chaining."""
+        first = self.start_time + self.arrivals.next_interval(self._rng, self.start_time)
+        if first <= self.until:
+            self.engine.sim.schedule_at(first, self._fire)
+        return self
+
+    def _fire(self) -> None:
+        now = self.engine.sim.now
+        if now > self.until:
+            return
+        count = self.sizer.size(self._rng)
+        # events span the interval since the previous message: real sources
+        # accumulate continuously-generated events, so each batch carries
+        # logical times up to (now - ingestion_delay) and closes any window
+        # whose end it crosses
+        upper = now - self.job.ingestion_delay + self.phase
+        lower = min(self._last_logical, upper)
+        logical_times = lower + (upper - lower) * (
+            np.arange(1, count + 1, dtype=np.float64) / count
+        )
+        self._last_logical = upper
+        keys = self._rng.integers(0, self.key_count, size=count)
+        self.engine.ingest(
+            self.job.name,
+            self.stage_name,
+            self.index,
+            logical_times,
+            values=None,
+            keys=keys,
+        )
+        self.messages_sent += 1
+        self.tuples_sent += count
+        gap = self.arrivals.next_interval(self._rng, now)
+        if now + gap <= self.until:
+            self.engine.sim.schedule(gap, self._fire)
+
+
+def drive_all_sources(
+    engine: StreamEngine,
+    job: JobSpec,
+    arrivals_factory,
+    sizer: Optional[BatchSizer] = None,
+    key_count: int = 8,
+    start: float = 0.0,
+    until: float = float("inf"),
+    phase: float = 0.0,
+) -> list[SourceDriver]:
+    """Install one driver per source operator of the job.
+
+    ``arrivals_factory`` is called as ``factory(stage_name, index)`` and
+    must return an :class:`ArrivalProcess` (may be shared or per-source).
+    """
+    drivers = []
+    for stage_name in job.graph.source_stages:
+        stage = job.graph.stage(stage_name)
+        for index in range(stage.parallelism):
+            driver = SourceDriver(
+                engine,
+                job,
+                arrivals_factory(stage_name, index),
+                sizer=sizer or FixedBatchSize(1000),
+                stage_name=stage_name,
+                index=index,
+                key_count=key_count,
+                start=start,
+                until=until,
+                phase=phase,
+            )
+            drivers.append(driver.install())
+    return drivers

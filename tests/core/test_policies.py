@@ -1,0 +1,95 @@
+"""Unit tests for the pluggable scheduling policies."""
+
+import pytest
+
+from repro.core.context import MIN_PRIORITY, PriorityContext
+from repro.core.policies import (
+    ConstantPolicy,
+    EarliestDeadlineFirstPolicy,
+    LeastLaxityFirstPolicy,
+    PriorityRequest,
+    ShortestJobFirstPolicy,
+    make_policy,
+)
+from repro.core.tokens import TokenFairPolicy
+
+
+def request(**overrides) -> PriorityRequest:
+    defaults = dict(
+        now=0.0, p_mf=10.0, t_mf=12.0, t_m=11.0, latency_constraint=1.0,
+        c_m=0.1, c_path=0.2, at_source=False, job_name="job",
+    )
+    defaults.update(overrides)
+    return PriorityRequest(**defaults)
+
+
+class TestLLF:
+    def test_global_priority_is_start_deadline(self):
+        local, global_ = LeastLaxityFirstPolicy().assign(request())
+        assert local == 10.0  # p_MF
+        assert global_ == pytest.approx(12.0 + 1.0 - 0.1 - 0.2)
+
+    def test_tighter_constraint_is_more_urgent(self):
+        tight = LeastLaxityFirstPolicy().assign(request(latency_constraint=0.1))
+        lax = LeastLaxityFirstPolicy().assign(request(latency_constraint=10.0))
+        assert tight[1] < lax[1]
+
+    def test_costlier_target_is_more_urgent(self):
+        heavy = LeastLaxityFirstPolicy().assign(request(c_m=0.5))
+        light = LeastLaxityFirstPolicy().assign(request(c_m=0.0))
+        assert heavy[1] < light[1]
+
+
+class TestEDF:
+    def test_omits_operator_cost(self):
+        llf = LeastLaxityFirstPolicy().assign(request())
+        edf = EarliestDeadlineFirstPolicy().assign(request())
+        assert edf[1] == pytest.approx(llf[1] + 0.1)  # C_oM added back
+
+    def test_identical_when_cost_zero(self):
+        r = request(c_m=0.0)
+        assert (EarliestDeadlineFirstPolicy().assign(r)
+                == LeastLaxityFirstPolicy().assign(r))
+
+
+class TestSJF:
+    def test_priority_is_cost(self):
+        local, global_ = ShortestJobFirstPolicy().assign(request(c_m=0.42))
+        assert global_ == 0.42
+
+    def test_deadline_blind(self):
+        a = ShortestJobFirstPolicy().assign(request(latency_constraint=0.01))
+        b = ShortestJobFirstPolicy().assign(request(latency_constraint=100.0))
+        assert a == b
+
+
+class TestConstant:
+    def test_fixed_pair(self):
+        policy = ConstantPolicy(1.0, 2.0)
+        assert policy.assign(request()) == (1.0, 2.0)
+        assert policy.assign(request(latency_constraint=9.0)) == (1.0, 2.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("llf", LeastLaxityFirstPolicy),
+        ("edf", EarliestDeadlineFirstPolicy),
+        ("sjf", ShortestJobFirstPolicy),
+        ("constant", ConstantPolicy),
+    ])
+    def test_known_policies(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_token_policy(self):
+        policy = make_policy("token", rates={"job": 10.0})
+        assert isinstance(policy, TokenFairPolicy)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("random")
+
+
+class TestLLFDeadlineField:
+    def test_request_exposes_llf_deadline(self):
+        r = request()
+        assert r.llf_deadline == pytest.approx(12.7)

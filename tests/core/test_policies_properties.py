@@ -1,0 +1,88 @@
+"""Property tests on policy priority functions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import (
+    EarliestDeadlineFirstPolicy,
+    LeastLaxityFirstPolicy,
+    PriorityRequest,
+    ShortestJobFirstPolicy,
+)
+from repro.core.tokens import TokenFairPolicy
+
+request_params = st.fixed_dictionaries({
+    "t_mf": st.floats(min_value=0.0, max_value=1e6),
+    "latency": st.floats(min_value=0.001, max_value=1e4),
+    "c_m": st.floats(min_value=0.0, max_value=10.0),
+    "c_path": st.floats(min_value=0.0, max_value=10.0),
+})
+
+
+def make_request(p):
+    return PriorityRequest(
+        now=0.0, p_mf=p["t_mf"], t_mf=p["t_mf"], t_m=p["t_mf"],
+        latency_constraint=p["latency"], c_m=p["c_m"], c_path=p["c_path"],
+        at_source=False, job_name="j",
+    )
+
+
+@given(p=request_params)
+@settings(max_examples=150)
+def test_llf_is_at_most_edf(p):
+    """LLF subtracts the target cost EDF ignores, so its deadline is never
+    later than EDF's (equal only when C_oM = 0)."""
+    request = make_request(p)
+    llf = LeastLaxityFirstPolicy().assign(request)[1]
+    edf = EarliestDeadlineFirstPolicy().assign(request)[1]
+    assert llf <= edf
+    assert edf - llf == pytest.approx(p["c_m"], abs=1e-6)
+
+
+@given(p=request_params)
+@settings(max_examples=150)
+def test_local_priority_is_frontier_progress(p):
+    request = make_request(p)
+    for policy in (LeastLaxityFirstPolicy(), EarliestDeadlineFirstPolicy(),
+                   ShortestJobFirstPolicy()):
+        assert policy.assign(request)[0] == request.p_mf
+
+
+@given(p=request_params, extra_slack=st.floats(min_value=0.001, max_value=1e4))
+@settings(max_examples=150)
+def test_llf_monotone_in_slack(p, extra_slack):
+    """More latency budget can only lower urgency (raise the key)."""
+    tight = make_request(p)
+    lax_params = dict(p)
+    lax_params["latency"] = p["latency"] + extra_slack
+    lax = make_request(lax_params)
+    policy = LeastLaxityFirstPolicy()
+    assert policy.assign(lax)[1] > policy.assign(tight)[1]
+
+
+@given(
+    rate=st.floats(min_value=1.0, max_value=500.0),
+    count=st.integers(min_value=1, max_value=400),
+)
+@settings(max_examples=80)
+def test_token_tags_monotone_within_interval(rate, count):
+    """Token tags strictly increase over a source's messages in one
+    interval, and never leave the interval."""
+    policy = TokenFairPolicy(rates={"j": rate}, interval=1.0)
+    tags = []
+    for _ in range(count):
+        request = PriorityRequest(
+            now=0.0, p_mf=0.0, t_mf=0.0, t_m=0.0, latency_constraint=1.0,
+            c_m=0.0, c_path=0.0, at_source=True, job_name="j", source_index=0,
+        )
+        _, tag = policy.assign(request)
+        if tag != float("inf"):
+            tags.append(tag)
+    assert tags == sorted(tags)
+    assert len(set(tags)) == len(tags)  # strictly increasing
+    assert all(0.0 <= tag < 1.0 for tag in tags)
+    import math
+
+    # fractional rates round up: tokens are granted while used < rate
+    assert len(tags) == min(count, math.ceil(rate))

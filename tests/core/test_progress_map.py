@@ -1,0 +1,104 @@
+"""Unit tests for PROGRESSMAP (§4.3 step 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.progress_map import (
+    IdentityProgressMap,
+    LinearProgressMap,
+    make_progress_map,
+)
+
+
+class TestIdentity:
+    def test_maps_to_itself(self):
+        mapper = IdentityProgressMap()
+        assert mapper.map(42.0) == 42.0
+
+    def test_updates_ignored(self):
+        mapper = IdentityProgressMap()
+        mapper.update(1.0, 99.0)
+        assert mapper.map(1.0) == 1.0
+
+
+class TestLinear:
+    def test_unavailable_before_min_points(self):
+        mapper = LinearProgressMap(min_points=2)
+        assert mapper.map(5.0) is None
+        mapper.update(1.0, 3.0)
+        assert mapper.map(5.0) is None
+
+    def test_exact_fit_constant_lag(self):
+        # paper's example: 10s tumbling window, events reach the operator 2s late
+        mapper = LinearProgressMap()
+        for p in (1.0, 11.0, 21.0):
+            mapper.update(p, p + 2.0)
+        assert mapper.map(31.0) == pytest.approx(33.0)
+
+    def test_exact_fit_with_slope(self):
+        mapper = LinearProgressMap()
+        for p in np.linspace(0, 10, 20):
+            mapper.update(p, 2.0 * p + 1.0)
+        alpha, gamma = mapper.coefficients()
+        assert alpha == pytest.approx(2.0)
+        assert gamma == pytest.approx(1.0)
+
+    def test_degenerate_same_progress_unit_slope(self):
+        mapper = LinearProgressMap()
+        mapper.update(5.0, 7.0)
+        mapper.update(5.0, 7.2)
+        # all p identical: assumes slope 1 through the mean point
+        assert mapper.map(6.0) == pytest.approx(8.1)
+
+    def test_running_window_evicts_old_points(self):
+        mapper = LinearProgressMap(window=4)
+        for p in range(100):
+            mapper.update(float(p), float(p))  # lag 0
+        for p in range(100, 104):
+            mapper.update(float(p), float(p) + 5.0)  # lag jumps to 5
+        assert mapper.observation_count == 4
+        assert mapper.map(110.0) == pytest.approx(115.0)
+
+    def test_window_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            LinearProgressMap(window=1)
+
+    def test_noisy_fit_close(self):
+        rng = np.random.default_rng(0)
+        mapper = LinearProgressMap(window=64)
+        for p in np.linspace(0, 100, 64):
+            mapper.update(p, p + 0.5 + rng.normal(0, 0.01))
+        assert mapper.map(110.0) == pytest.approx(110.5, abs=0.1)
+
+
+class TestFactory:
+    def test_ingestion_is_identity(self):
+        assert isinstance(make_progress_map("ingestion"), IdentityProgressMap)
+
+    def test_event_is_linear(self):
+        assert isinstance(make_progress_map("event"), LinearProgressMap)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_progress_map("galactic")
+
+
+@given(
+    alpha=st.floats(min_value=0.5, max_value=2.0),
+    gamma=st.floats(min_value=-10.0, max_value=10.0),
+    points=st.lists(
+        st.integers(min_value=0, max_value=1000), min_size=2, max_size=30, unique=True
+    ),
+)
+@settings(max_examples=100)
+def test_property_linear_fit_recovers_exact_lines(alpha, gamma, points):
+    # integer-grid points keep the normal equations well-conditioned; the
+    # degenerate all-identical case is covered by its own unit test
+    mapper = LinearProgressMap(window=64)
+    for p in points:
+        mapper.update(float(p), alpha * p + gamma)
+    probe = float(max(points) + 10)
+    predicted = mapper.map(probe)
+    assert predicted == pytest.approx(alpha * probe + gamma, rel=1e-6, abs=1e-6)

@@ -1,0 +1,133 @@
+"""Model-based property test: CameoRunQueue vs a brute-force reference.
+
+A random interleaving of operations (deliver message to an operator, pop
+the best operator, finish the popped operator) is replayed against both
+the lazy-heap implementation and an O(n) reference scan.  The sequences of
+popped operators must be identical.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.context import PriorityContext
+from repro.core.scheduler import CameoRunQueue
+from repro.dataflow.messages import Message
+
+
+class FakeOp:
+    def __init__(self, name, mailbox):
+        self.name = name
+        self.mailbox = mailbox
+        self.busy = False
+        self.queue_token = -1
+        self.in_queue = False
+
+
+class ReferenceModel:
+    """Ground truth: scan all idle operators for the best head message."""
+
+    def __init__(self):
+        self.mailboxes: dict[str, list[tuple[float, float, int]]] = {}
+        self.busy: set[str] = set()
+        self._seq = 0
+
+    def deliver(self, op: str, local: float, global_: float) -> None:
+        self.mailboxes.setdefault(op, []).append((local, self._seq, global_))
+        self.mailboxes[op].sort(key=lambda e: (e[0], e[1]))
+        self._seq += 1
+
+    def head_global(self, op: str) -> float:
+        return self.mailboxes[op][0][2]
+
+    def pop_best(self):
+        candidates = [
+            op for op, queue in self.mailboxes.items()
+            if queue and op not in self.busy
+        ]
+        if not candidates:
+            return None
+        # min by (head global priority, op name) — name breaks ties the same
+        # way the heap's FIFO sequence does IF deliveries created entries in
+        # name order; to keep the comparison exact we only generate distinct
+        # global priorities (see strategy below)
+        best = min(candidates, key=lambda op: self.head_global(op))
+        self.busy.add(best)
+        return best
+
+    def finish(self, op: str) -> None:
+        self.busy.discard(op)
+        if self.mailboxes.get(op):
+            self.mailboxes[op].pop(0)
+
+
+# operations: ("deliver", op_index, priority) | ("pop",) | ("finish",)
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("deliver"), st.integers(0, 4),
+                  st.integers(0, 10_000)),
+        st.tuples(st.just("pop")),
+        st.tuples(st.just("finish")),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+@given(ops=operations)
+@settings(max_examples=120, deadline=None)
+def test_cameo_run_queue_matches_reference(ops):
+    queue = CameoRunQueue()
+    real_ops = {i: FakeOp(f"op{i}", queue.create_mailbox()) for i in range(5)}
+    model = ReferenceModel()
+    # distinct global priorities via a counter suffix prevent tie ambiguity
+    suffix = iter(range(1_000_000))
+    popped_real: list[str] = []
+    popped_model: list[str] = []
+    running_real: list[FakeOp] = []
+    running_model: list[str] = []
+
+    for op in ops:
+        if op[0] == "deliver":
+            _, index, priority = op
+            unique = priority + next(suffix) * 1e-9
+            msg = Message(target=None,
+                          pc=PriorityContext(pri_local=0.0, pri_global=unique))
+            real_ops[index].mailbox.push(msg)
+            queue.notify(real_ops[index], now=0.0)
+            model.deliver(f"op{index}", 0.0, unique)
+        elif op[0] == "pop":
+            real = queue.pop(0)
+            expected = model.pop_best()
+            assert (real.name if real else None) == expected
+            if real is not None:
+                real.busy = True
+                running_real.append(real)
+                running_model.append(expected)
+        else:  # finish the oldest running operator
+            if running_real:
+                real = running_real.pop(0)
+                name = running_model.pop(0)
+                real.mailbox.pop()
+                real.busy = False
+                model.finish(name)
+                if len(real.mailbox) > 0:
+                    queue.requeue(real, 0)
+
+    # drain both to the end: remaining pops must also agree
+    while True:
+        for real in running_real:
+            real.busy = False
+            real.mailbox.pop()
+            if len(real.mailbox) > 0:
+                queue.requeue(real, 0)
+        for name in running_model:
+            model.finish(name)
+        running_real, running_model = [], []
+        real = queue.pop(0)
+        expected = model.pop_best()
+        assert (real.name if real else None) == expected
+        if real is None:
+            break
+        real.busy = True
+        running_real.append(real)
+        running_model.append(expected)

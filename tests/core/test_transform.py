@@ -1,0 +1,76 @@
+"""Unit tests for TRANSFORM (§4.3 step 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.transform import REGULAR_SLIDE, frontier_progress, stage_slide, transform
+from repro.dataflow.windows import WindowSpec
+
+
+class TestTransform:
+    def test_regular_to_windowed_extends(self):
+        # slide 0 (regular) into a 10s window: p=3 -> frontier 10
+        assert transform(3.0, REGULAR_SLIDE, 10.0) == 10.0
+
+    def test_boundary_value_goes_to_next_window(self):
+        assert transform(10.0, REGULAR_SLIDE, 10.0) == 20.0
+
+    def test_equal_slides_unchanged(self):
+        assert transform(7.0, 10.0, 10.0) == 7.0
+
+    def test_larger_upstream_slide_unchanged(self):
+        # upstream triggers less often than downstream: no extension
+        assert transform(7.0, 10.0, 5.0) == 7.0
+
+    def test_smaller_upstream_slide_extends(self):
+        assert transform(7.0, 5.0, 10.0) == 10.0
+
+    def test_windowed_to_regular_unchanged(self):
+        assert transform(7.0, 10.0, REGULAR_SLIDE) == 7.0
+
+    def test_negative_slide_rejected(self):
+        with pytest.raises(ValueError):
+            transform(1.0, -1.0, 1.0)
+
+    def test_paper_example_tumbling_10s(self):
+        # "if we have a tumbling window with window size 10s, p_MF will occur
+        # every 10th second"
+        for p, expected in [(0.0, 10.0), (9.99, 10.0), (10.0, 20.0), (15.0, 20.0)]:
+            assert transform(p, REGULAR_SLIDE, 10.0) == expected
+
+
+class TestStageSlide:
+    def test_regular_stage(self):
+        assert stage_slide(None) == REGULAR_SLIDE
+
+    def test_windowed_stage(self):
+        assert stage_slide(WindowSpec.sliding(10.0, 2.0)) == 2.0
+
+
+class TestFrontierProgress:
+    def test_combines_windows(self):
+        target = WindowSpec.tumbling(10.0)
+        assert frontier_progress(3.0, target) == 10.0
+        assert frontier_progress(3.0, None) == 3.0
+
+    def test_window_to_same_window(self):
+        window = WindowSpec.tumbling(10.0)
+        assert frontier_progress(10.0, window, upstream_window=window) == 10.0
+
+
+@given(
+    p=st.floats(min_value=0, max_value=1e7, allow_nan=False),
+    slide=st.sampled_from([0.5, 1.0, 2.0, 10.0]),
+)
+@settings(max_examples=200)
+def test_property_transform_matches_window_arithmetic(p, slide):
+    """TRANSFORM and WindowSpec.first_window_end are the same function."""
+    spec = WindowSpec.tumbling(slide)
+    assert transform(p, REGULAR_SLIDE, slide) == spec.first_window_end(p)
+
+
+@given(p=st.floats(min_value=0, max_value=1e7, allow_nan=False))
+@settings(max_examples=100)
+def test_property_frontier_never_before_progress(p):
+    assert transform(p, REGULAR_SLIDE, 5.0) > p

@@ -1,0 +1,67 @@
+"""Unit tests for events and columnar batches."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow.events import Event, EventBatch
+
+
+class TestEventBatch:
+    def test_defaults_fill_values_and_keys(self):
+        batch = EventBatch([1.0, 2.0, 3.0])
+        assert np.array_equal(batch.values, np.ones(3))
+        assert np.array_equal(batch.keys, np.zeros(3, dtype=np.int64))
+
+    def test_length(self):
+        assert len(EventBatch([1.0, 2.0])) == 2
+        assert len(EventBatch([])) == 0
+
+    def test_max_logical_time(self):
+        assert EventBatch([1.0, 5.0, 3.0]).max_logical_time == 5.0
+
+    def test_empty_batch_progress_is_neg_inf(self):
+        assert EventBatch([]).max_logical_time == float("-inf")
+        assert EventBatch([]).min_logical_time == float("inf")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            EventBatch([1.0, 2.0], values=[1.0])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            EventBatch([[1.0, 2.0]])
+
+    def test_select_by_mask(self):
+        batch = EventBatch([1.0, 2.0, 3.0], values=[10, 20, 30], keys=[0, 1, 0],
+                           arrival_time=9.0, source_id=4)
+        picked = batch.select(batch.keys == 0)
+        assert len(picked) == 2
+        assert np.array_equal(picked.values, [10, 30])
+        assert picked.arrival_time == 9.0
+        assert picked.source_id == 4
+
+    def test_select_empty_mask(self):
+        batch = EventBatch([1.0, 2.0])
+        assert len(batch.select(np.zeros(2, dtype=bool))) == 0
+
+    def test_from_events(self):
+        events = [Event(1.0, 2.0, 3), Event(4.0, 5.0, 6)]
+        batch = EventBatch.from_events(events, arrival_time=1.5)
+        assert np.array_equal(batch.logical_times, [1.0, 4.0])
+        assert np.array_equal(batch.values, [2.0, 5.0])
+        assert np.array_equal(batch.keys, [3, 6])
+        assert batch.arrival_time == 1.5
+
+    def test_single(self):
+        batch = EventBatch.single(2.0, value=7.0, key=1)
+        assert len(batch) == 1
+        assert batch.max_logical_time == 2.0
+
+    def test_raw_matches_public_constructor(self):
+        times = np.array([1.0, 2.0])
+        values = np.array([3.0, 4.0])
+        keys = np.array([0, 1], dtype=np.int64)
+        raw = EventBatch._raw(times, values, keys, arrival_time=5.0, source_id=2)
+        assert np.array_equal(raw.logical_times, times)
+        assert raw.arrival_time == 5.0
+        assert raw.max_logical_time == 2.0

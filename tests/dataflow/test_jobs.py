@@ -1,0 +1,49 @@
+"""Unit tests for job specifications."""
+
+import pytest
+
+from repro.dataflow.graph import DataflowGraph, StageSpec
+from repro.dataflow.jobs import JobSpec
+
+
+def graph():
+    return DataflowGraph(
+        [
+            StageSpec(name="s", kind="source", parallelism=3),
+            StageSpec(name="k", kind="sink"),
+        ],
+        [("s", "k")],
+    )
+
+
+class TestJobSpec:
+    def test_valid_job(self):
+        job = JobSpec(name="j", graph=graph(), latency_constraint=1.0)
+        assert job.source_count == 3
+        assert job.is_latency_sensitive
+
+    def test_ba_group(self):
+        job = JobSpec(name="j", graph=graph(), latency_constraint=1.0, group="BA")
+        assert not job.is_latency_sensitive
+
+    def test_nonpositive_latency_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(name="j", graph=graph(), latency_constraint=0.0)
+
+    def test_bad_time_domain_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(name="j", graph=graph(), latency_constraint=1.0,
+                    time_domain="galactic")
+
+    def test_negative_ingestion_delay_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(name="j", graph=graph(), latency_constraint=1.0,
+                    ingestion_delay=-0.1)
+
+    def test_nonpositive_token_rate_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(name="j", graph=graph(), latency_constraint=1.0, token_rate=0.0)
+
+    def test_token_rate_optional(self):
+        job = JobSpec(name="j", graph=graph(), latency_constraint=1.0, token_rate=5.0)
+        assert job.token_rate == 5.0

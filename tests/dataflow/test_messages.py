@@ -1,0 +1,30 @@
+"""Unit tests for messages."""
+
+import math
+
+from repro.dataflow.events import EventBatch
+from repro.dataflow.messages import Message, MessageKind, reset_message_ids
+
+
+class TestMessage:
+    def test_unique_ids(self):
+        a = Message(target="x")
+        b = Message(target="x")
+        assert a.msg_id != b.msg_id
+
+    def test_reset_message_ids(self):
+        reset_message_ids()
+        assert Message(target="x").msg_id == 0
+
+    def test_tuple_count(self):
+        assert Message(target="x").tuple_count == 0
+        assert Message(target="x", batch=EventBatch([1.0, 2.0])).tuple_count == 2
+
+    def test_default_kind_is_data(self):
+        assert Message(target="x").kind is MessageKind.DATA
+
+    def test_enqueue_time_starts_nan(self):
+        assert math.isnan(Message(target="x").enqueue_time)
+
+    def test_repr_smoke(self):
+        assert "Message(" in repr(Message(target="x"))

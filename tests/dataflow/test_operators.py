@@ -1,0 +1,309 @@
+"""Unit tests for dataflow operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.events import EventBatch
+from repro.dataflow.messages import Message
+from repro.dataflow.operators import (
+    WINDOW_RESULT_EPS,
+    FilterOperator,
+    MapOperator,
+    OpAddress,
+    SinkOperator,
+    SourceOperator,
+    WindowedAggregateOperator,
+    WindowedJoinOperator,
+)
+from repro.dataflow.windows import WindowSpec
+
+ADDR = OpAddress("job", "stage", 0)
+
+
+def msg(batch, p=None, t=0.0, channel=0):
+    if p is None:
+        p = batch.max_logical_time if batch is not None else 0.0
+    return Message(target=ADDR, batch=batch, p=p, t=t, channel_index=channel)
+
+
+def wired(op, channels=1):
+    op.wire_inputs(channels)
+    return op
+
+
+class TestOpAddress:
+    def test_equality_and_hash(self):
+        a = OpAddress("j", "s", 1)
+        b = OpAddress("j", "s", 1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != OpAddress("j", "s", 2)
+
+    def test_str(self):
+        assert str(OpAddress("j", "s", 1)) == "j/s[1]"
+
+    def test_usable_as_dict_key(self):
+        d = {OpAddress("j", "s", 0): 1}
+        assert d[OpAddress("j", "s", 0)] == 1
+
+
+class TestSourceOperator:
+    def test_forwards_batch(self):
+        op = wired(SourceOperator(ADDR))
+        batch = EventBatch([1.0, 2.0], arrival_time=5.0)
+        out = op.on_message(msg(batch, t=5.0), now=5.0)
+        assert len(out) == 1
+        assert out[0].batch is batch
+        assert out[0].progress == 2.0
+        assert out[0].arrival == 5.0
+
+    def test_counts_invocations(self):
+        op = wired(SourceOperator(ADDR))
+        op.on_message(msg(EventBatch([1.0])), now=0.0)
+        op.on_message(msg(None, p=1.0), now=0.0)
+        assert op.invocations == 2
+        assert op.triggers == 1
+
+
+class TestMapFilter:
+    def test_map_transforms_values(self):
+        op = wired(MapOperator(ADDR, lambda v: v * 2))
+        out = op.on_message(msg(EventBatch([1.0], values=[3.0])), now=0.0)
+        assert out[0].batch.values[0] == 6.0
+
+    def test_map_preserves_progress(self):
+        op = wired(MapOperator(ADDR, lambda v: v))
+        out = op.on_message(msg(EventBatch([4.0]), p=4.0, t=2.0), now=0.0)
+        assert out[0].progress == 4.0
+        assert out[0].arrival == 2.0
+
+    def test_map_forwards_heartbeats(self):
+        op = wired(MapOperator(ADDR, lambda v: v * 2))
+        out = op.on_message(msg(EventBatch([]), p=9.0, t=2.0), now=0.0)
+        assert len(out) == 1
+        assert len(out[0].batch) == 0
+        assert out[0].progress == 9.0
+
+    def test_filter_keeps_matching_rows(self):
+        op = wired(FilterOperator(ADDR, lambda v: v > 1.5))
+        out = op.on_message(msg(EventBatch([1.0, 2.0], values=[1.0, 2.0])), now=0.0)
+        assert len(out[0].batch) == 1
+        assert out[0].batch.values[0] == 2.0
+
+
+class TestWindowedAggregate:
+    def make(self, window=None, agg="sum", by_key=True, channels=1):
+        op = WindowedAggregateOperator(
+            ADDR, window or WindowSpec.tumbling(10.0), agg, by_key
+        )
+        return wired(op, channels)
+
+    def test_no_emit_before_frontier(self):
+        op = self.make()
+        out = op.on_message(msg(EventBatch([3.0], values=[5.0]), p=3.0), now=0.0)
+        assert out == []
+        assert op.pending_window_count == 1
+
+    def test_emit_on_frontier_crossing(self):
+        op = self.make()
+        op.on_message(msg(EventBatch([3.0], values=[5.0]), p=3.0, t=1.0), now=0.0)
+        out = op.on_message(msg(EventBatch([12.0], values=[1.0]), p=12.0, t=2.0), now=0.0)
+        assert len(out) == 1
+        emission = out[0]
+        assert emission.progress == 10.0
+        assert emission.batch.values[0] == 5.0
+        # result timestamp sits just inside the emitted window
+        assert emission.batch.logical_times[0] == pytest.approx(10.0 - WINDOW_RESULT_EPS)
+
+    def test_window_arrival_anchor_is_max_contributor(self):
+        op = self.make()
+        op.on_message(msg(EventBatch([1.0], arrival_time=1.0), p=1.0, t=1.0), now=1.0)
+        op.on_message(msg(EventBatch([2.0], arrival_time=7.0), p=2.0, t=7.0), now=7.0)
+        out = op.on_message(msg(EventBatch([11.0], arrival_time=8.0), p=11.0, t=8.0), now=8.0)
+        assert out[0].arrival == 7.0  # the trigger message is not a contributor
+
+    def test_aggregates_by_key(self):
+        op = self.make()
+        batch = EventBatch([1.0, 2.0, 3.0], values=[1.0, 2.0, 4.0], keys=[0, 1, 0])
+        op.on_message(msg(batch, p=3.0), now=0.0)
+        out = op.on_message(msg(EventBatch([10.5]), p=10.5), now=0.0)
+        result = out[0].batch
+        assert list(result.keys) == [0, 1]
+        assert list(result.values) == [5.0, 2.0]
+
+    def test_aggregate_without_keys(self):
+        op = self.make(by_key=False)
+        batch = EventBatch([1.0, 2.0], values=[1.0, 2.0], keys=[3, 4])
+        op.on_message(msg(batch, p=2.0), now=0.0)
+        out = op.on_message(msg(EventBatch([10.5]), p=10.5), now=0.0)
+        assert list(out[0].batch.values) == [3.0]
+
+    @pytest.mark.parametrize(
+        "agg,expected", [("sum", 6.0), ("count", 3.0), ("mean", 2.0), ("max", 3.0), ("min", 1.0)]
+    )
+    def test_aggregate_functions(self, agg, expected):
+        op = self.make(agg=agg)
+        batch = EventBatch([1.0, 2.0, 3.0], values=[1.0, 2.0, 3.0])
+        op.on_message(msg(batch, p=3.0), now=0.0)
+        out = op.on_message(msg(EventBatch([10.5]), p=10.5), now=0.0)
+        assert out[0].batch.values[0] == expected
+
+    def test_multi_channel_waits_for_all(self):
+        op = self.make(channels=2)
+        op.on_message(msg(EventBatch([3.0]), p=3.0, channel=0), now=0.0)
+        out = op.on_message(msg(EventBatch([12.0]), p=12.0, channel=0), now=0.0)
+        assert out == []  # channel 1 has not progressed yet
+        out = op.on_message(msg(EventBatch([11.0]), p=11.0, channel=1), now=0.0)
+        assert len(out) == 1
+
+    def test_heartbeat_advances_frontier(self):
+        op = self.make(channels=2)
+        op.on_message(msg(EventBatch([3.0]), p=3.0, channel=0), now=0.0)
+        op.on_message(msg(EventBatch([12.0]), p=12.0, channel=0), now=0.0)
+        out = op.on_message(msg(EventBatch([]), p=12.0, channel=1), now=0.0)
+        assert len(out) == 1  # empty batch still carries progress
+
+    def test_sliding_window_event_in_multiple_windows(self):
+        op = self.make(window=WindowSpec.sliding(10.0, 5.0))
+        op.on_message(msg(EventBatch([7.0], values=[1.0]), p=7.0), now=0.0)
+        out = op.on_message(msg(EventBatch([20.5]), p=20.5), now=0.0)
+        # event at 7 belongs to windows ending at 10 and 15
+        ends = [e.progress for e in out]
+        assert 10.0 in ends and 15.0 in ends
+        emitted = {e.progress: (e.batch.values.sum() if len(e.batch) else 0.0) for e in out}
+        assert emitted[10.0] == 1.0
+        assert emitted[15.0] == 1.0
+
+    def test_windows_emit_in_order(self):
+        op = self.make()
+        out = op.on_message(msg(EventBatch([5.0, 15.0, 25.0]), p=25.0), now=0.0)
+        # frontier 25 already completes windows 10 and 20
+        assert [e.progress for e in out] == [10.0, 20.0]
+        out += op.on_message(msg(EventBatch([31.0]), p=31.0), now=0.0)
+        assert [e.progress for e in out] == [10.0, 20.0, 30.0]
+
+    def test_late_tuples_counted_and_dropped(self):
+        op = self.make()
+        op.on_message(msg(EventBatch([5.0, 15.0]), p=15.0), now=0.0)
+        op.on_message(msg(EventBatch([22.0]), p=22.0), now=0.0)  # emits window 10
+        op.on_message(msg(EventBatch([3.0]), p=22.0), now=0.0)  # way late
+        assert op.late_tuples == 1
+
+    def test_large_batch_matches_loop_reference(self):
+        rng = np.random.default_rng(0)
+        n = 5000
+        times = rng.uniform(0, 30, n)
+        values = rng.normal(size=n)
+        keys = rng.integers(0, 5, n)
+        op = self.make()
+        out = op.on_message(msg(EventBatch(times, values, keys), p=30.0), now=0.0)
+        out += op.on_message(msg(EventBatch([31.0]), p=31.0), now=0.0)
+        got = {}
+        for emission in out:
+            for key, value in zip(emission.batch.keys, emission.batch.values):
+                got[(emission.progress, int(key))] = value
+        expected = {}
+        for time, value, key in zip(times, values, keys):
+            end = (np.floor(time / 10.0) + 1) * 10.0
+            expected[(end, int(key))] = expected.get((end, int(key)), 0.0) + value
+        assert set(got) == set(expected)
+        for pair in got:
+            assert got[pair] == pytest.approx(expected[pair])
+
+
+class TestWindowedJoin:
+    def make(self):
+        op = WindowedJoinOperator(ADDR, WindowSpec.tumbling(10.0))
+        op.wire_inputs(2)
+        op.set_channel_sides([0, 1])
+        return op
+
+    def test_join_counts_pairs(self):
+        op = self.make()
+        op.on_message(msg(EventBatch([1.0, 2.0], keys=[7, 7]), p=2.0, channel=0), now=0.0)
+        op.on_message(msg(EventBatch([3.0, 4.0, 5.0], keys=[7, 7, 8]), p=5.0, channel=1), now=0.0)
+        op.on_message(msg(EventBatch([11.0], keys=[0]), p=11.0, channel=0), now=0.0)
+        out = op.on_message(msg(EventBatch([11.0], keys=[0]), p=11.0, channel=1), now=0.0)
+        assert len(out) == 1
+        batch = out[0].batch
+        assert list(batch.keys) == [7]
+        assert batch.values[0] == 4.0  # 2 left x 2 right
+
+    def test_no_match_emits_empty_batch_with_progress(self):
+        op = self.make()
+        op.on_message(msg(EventBatch([1.0], keys=[1]), p=1.0, channel=0), now=0.0)
+        op.on_message(msg(EventBatch([2.0], keys=[2]), p=2.0, channel=1), now=0.0)
+        op.on_message(msg(EventBatch([11.0], keys=[5]), p=11.0, channel=0), now=0.0)
+        out = op.on_message(msg(EventBatch([11.0], keys=[6]), p=11.0, channel=1), now=0.0)
+        assert len(out) == 1
+        assert len(out[0].batch) == 0
+        assert out[0].progress == 10.0
+
+    def test_requires_channel_sides(self):
+        op = WindowedJoinOperator(ADDR, WindowSpec.tumbling(10.0))
+        op.wire_inputs(2)
+        with pytest.raises(RuntimeError):
+            op.on_message(msg(EventBatch([1.0]), p=1.0), now=0.0)
+
+    def test_invalid_sides_rejected(self):
+        op = WindowedJoinOperator(ADDR, WindowSpec.tumbling(10.0))
+        with pytest.raises(ValueError):
+            op.set_channel_sides([0, 2])
+
+
+class TestSink:
+    def test_counts_outputs(self):
+        op = wired(SinkOperator(ADDR))
+        assert op.on_message(msg(EventBatch([1.0])), now=0.0) == []
+        op.on_message(msg(EventBatch([]), p=1.0), now=0.0)
+        assert op.outputs_seen == 1
+
+
+@given(
+    times=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=60),
+    slide=st.sampled_from([2.0, 5.0, 10.0]),
+    mult=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_no_tuple_lost_or_duplicated(times, slide, mult):
+    """Every on-time tuple lands in exactly size/slide windows."""
+    window = WindowSpec(size=slide * mult, slide=slide)
+    op = WindowedAggregateOperator(ADDR, window, agg="count", by_key=False)
+    op.wire_inputs(1)
+    out = op.on_message(msg(EventBatch(sorted(times)), p=max(times)), now=0.0)
+    out += op.on_message(msg(EventBatch([max(times) + 2 * window.size + slide]),
+                             p=max(times) + 2 * window.size + slide), now=0.0)
+    total = sum(e.batch.values.sum() for e in out if len(e.batch))
+    assert total == len(times) * window.window_count_containing()
+
+
+class TestWindowedTopK:
+    def make(self, k=2):
+        from repro.dataflow.operators import WindowedTopKOperator
+
+        op = WindowedTopKOperator(ADDR, WindowSpec.tumbling(10.0), k=k)
+        return wired(op)
+
+    def test_emits_only_top_k_keys(self):
+        op = self.make(k=2)
+        batch = EventBatch([1.0, 2.0, 3.0, 4.0], values=[5.0, 1.0, 9.0, 3.0],
+                           keys=[0, 1, 2, 3])
+        op.on_message(msg(batch, p=4.0), now=0.0)
+        out = op.on_message(msg(EventBatch([10.5]), p=10.5), now=0.0)
+        result = out[0].batch
+        assert list(result.keys) == [2, 0]  # descending by value
+        assert list(result.values) == [9.0, 5.0]
+
+    def test_fewer_keys_than_k_kept_as_is(self):
+        op = self.make(k=5)
+        op.on_message(msg(EventBatch([1.0], values=[2.0], keys=[7]), p=1.0), now=0.0)
+        out = op.on_message(msg(EventBatch([10.5]), p=10.5), now=0.0)
+        assert list(out[0].batch.keys) == [7]
+
+    def test_invalid_k_rejected(self):
+        from repro.dataflow.operators import WindowedTopKOperator
+
+        with pytest.raises(ValueError):
+            WindowedTopKOperator(ADDR, WindowSpec.tumbling(10.0), k=0)

@@ -1,0 +1,64 @@
+"""Unit tests for per-channel stream-progress tracking."""
+
+import pytest
+
+from repro.dataflow.progress import ProgressTracker, merged_frontier
+
+
+def test_initial_frontier_is_minus_inf():
+    assert ProgressTracker(2).frontier == float("-inf")
+
+
+def test_frontier_is_minimum_across_channels():
+    tracker = ProgressTracker(3)
+    tracker.observe(0, 10.0)
+    tracker.observe(1, 5.0)
+    tracker.observe(2, 8.0)
+    assert tracker.frontier == 5.0
+    assert tracker.max_progress == 10.0
+
+
+def test_single_channel_frontier_tracks_last_value():
+    tracker = ProgressTracker(1)
+    tracker.observe(0, 3.0)
+    assert tracker.frontier == 3.0
+    tracker.observe(0, 7.0)
+    assert tracker.frontier == 7.0
+
+
+def test_regressions_are_clamped():
+    tracker = ProgressTracker(1)
+    tracker.observe(0, 10.0)
+    tracker.observe(0, 4.0)  # duplicate/heartbeat progress must not regress
+    assert tracker.frontier == 10.0
+
+
+def test_complete_up_to():
+    tracker = ProgressTracker(2)
+    tracker.observe(0, 10.0)
+    assert not tracker.complete_up_to(10.0)  # channel 1 still at -inf
+    tracker.observe(1, 10.0)
+    assert tracker.complete_up_to(10.0)
+    assert not tracker.complete_up_to(10.5)
+
+
+def test_out_of_range_channel_raises():
+    tracker = ProgressTracker(2)
+    with pytest.raises(IndexError):
+        tracker.observe(2, 1.0)
+    with pytest.raises(IndexError):
+        tracker.observe(-1, 1.0)
+
+
+def test_zero_channels_rejected():
+    with pytest.raises(ValueError):
+        ProgressTracker(0)
+
+
+def test_merged_frontier():
+    a = ProgressTracker(1)
+    b = ProgressTracker(1)
+    a.observe(0, 4.0)
+    b.observe(0, 9.0)
+    assert merged_frontier([a, b]) == 4.0
+    assert merged_frontier([]) == float("inf")

@@ -1,0 +1,93 @@
+"""Unit and property tests for window arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.windows import WindowSpec
+
+
+class TestSpecValidation:
+    def test_tumbling_has_equal_slide(self):
+        spec = WindowSpec.tumbling(10.0)
+        assert spec.slide == spec.size == 10.0
+        assert spec.is_tumbling
+
+    def test_sliding_not_tumbling(self):
+        assert not WindowSpec.sliding(10.0, 2.0).is_tumbling
+
+    @pytest.mark.parametrize("size,slide", [(0, 1), (-1, 1), (1, 0), (1, -1), (1, 2)])
+    def test_invalid_specs_rejected(self, size, slide):
+        with pytest.raises(ValueError):
+            WindowSpec(size=size, slide=slide)
+
+
+class TestFirstWindowEnd:
+    def test_interior_point(self):
+        spec = WindowSpec.tumbling(10.0)
+        assert spec.first_window_end(3.0) == 10.0
+
+    def test_boundary_point_goes_to_next_window(self):
+        # windows are [start, end): an event exactly at a boundary belongs
+        # to the next window — matching TRANSFORM's (p // S + 1) * S
+        spec = WindowSpec.tumbling(10.0)
+        assert spec.first_window_end(10.0) == 20.0
+
+    def test_negative_time(self):
+        spec = WindowSpec.tumbling(10.0)
+        assert spec.first_window_end(-3.0) == 0.0
+
+    def test_sliding_uses_slide_grid(self):
+        spec = WindowSpec.sliding(10.0, 2.0)
+        assert spec.first_window_end(3.0) == 4.0
+
+
+class TestWindowMembership:
+    def test_tumbling_single_window(self):
+        spec = WindowSpec.tumbling(10.0)
+        assert list(spec.window_ends_containing(7.0)) == [10.0]
+
+    def test_sliding_multiple_windows(self):
+        spec = WindowSpec.sliding(10.0, 5.0)
+        assert list(spec.window_ends_containing(7.0)) == [10.0, 15.0]
+
+    def test_sliding_count_matches_ratio(self):
+        spec = WindowSpec.sliding(12.0, 3.0)
+        ends = list(spec.window_ends_containing(7.0))
+        assert len(ends) == 4  # size / slide
+
+    def test_window_bounds(self):
+        spec = WindowSpec.sliding(10.0, 5.0)
+        assert spec.window_bounds(15.0) == (5.0, 15.0)
+
+    def test_window_count_containing(self):
+        assert WindowSpec.tumbling(10.0).window_count_containing() == 1
+        assert WindowSpec.sliding(10.0, 5.0).window_count_containing() == 2
+        assert WindowSpec.sliding(10.0, 3.0).window_count_containing() == 4
+
+
+@given(
+    p=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    size_mult=st.integers(min_value=1, max_value=8),
+    slide=st.sampled_from([0.5, 1.0, 2.0, 5.0]),
+)
+@settings(max_examples=200)
+def test_every_event_is_in_each_listed_window(p, size_mult, slide):
+    spec = WindowSpec(size=slide * size_mult, slide=slide)
+    ends = list(spec.window_ends_containing(p))
+    assert ends, "every event belongs to at least one window"
+    for end in ends:
+        start, stop = spec.window_bounds(end)
+        assert start <= p < stop
+
+
+@given(p=st.floats(min_value=0, max_value=1e6, allow_nan=False))
+@settings(max_examples=200)
+def test_first_window_end_strictly_after_event(p):
+    spec = WindowSpec.tumbling(10.0)
+    end = spec.first_window_end(p)
+    assert end > p
+    assert end - 10.0 <= p
+    assert math.isclose(end / 10.0, round(end / 10.0))

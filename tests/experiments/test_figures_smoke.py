@@ -1,0 +1,115 @@
+"""Fast, scaled-down smoke runs of the figure experiments.
+
+Full-scale reproductions (with the paper's shape assertions) live in
+``benchmarks/``; these tests only check that every experiment runs end to
+end at toy scale and produces structurally sound results.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    run_fig01,
+    run_fig02,
+    run_fig04,
+    run_fig10,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_fig15,
+    run_fig16,
+)
+
+
+def rows_are_finite(result, numeric_from=1):
+    for row in result.rows:
+        for cell in row[numeric_from:]:
+            if isinstance(cell, float):
+                assert not math.isnan(cell), f"NaN in {result.name}: {row}"
+
+
+def test_fig01_smoke():
+    result = run_fig01(duration=8.0, ba_msg_rate=30.0)
+    assert len(result.rows) == 3
+    rows_are_finite(result)
+    assert result.extras["slot-based"]["utilization"] < result.extras["cameo"]["utilization"]
+
+
+def test_fig02_smoke():
+    result = run_fig02(stream_count=50, heatmap_sources=5, heatmap_duration=30)
+    assert result.extras["top10_share"] > 0.1
+    assert result.extras["heatmap"].shape == (5, 30)
+
+
+def test_fig04_smoke():
+    result = run_fig04(duration=12.0)
+    assert len(result.rows) == 4
+    rows_are_finite(result)
+
+
+def test_fig10_smoke():
+    result = run_fig10(duration=8.0, type2_total_rate=50.0)
+    assert len(result.rows) == 3
+    for row in result.rows:
+        assert 0.0 <= row[1] <= 1.0
+        assert 0.0 <= row[2] <= 1.0
+
+
+def test_fig12_smoke():
+    result = run_fig12(message_count=2000, operator_count=50)
+    assert result.extras["fifo_ns"] > 0
+    assert result.extras["full_ns"] > result.extras["fifo_ns"]
+
+
+def test_fig13_smoke():
+    result = run_fig13(batch_sizes=(1000, 20000), ba_tuple_rate=20_000.0,
+                       duration=10.0)
+    assert len(result.rows) == 2
+    rows_are_finite(result)
+
+
+def test_fig14_smoke():
+    result = run_fig14(quanta=(0.001, 0.1), duration=8.0, ls_jobs=2,
+                       ls_rate=10.0, ba_rate=30.0)
+    assert len(result.rows) == 4
+    rows_are_finite(result)
+
+
+def test_fig15_smoke():
+    result = run_fig15(duration=8.0, ba_rate=20.0)
+    assert len(result.rows) == 4
+    rows_are_finite(result)
+
+
+def test_fig16_smoke():
+    result = run_fig16(sigmas=(0.0, 0.1), duration=8.0, ba_rate=20.0)
+    assert len(result.rows) == 2
+    rows_are_finite(result)
+
+
+def test_ext_starvation_smoke():
+    from repro.experiments import run_ext_starvation
+
+    result = run_ext_starvation(aging_values=(0.0, 0.2), duration=10.0)
+    assert len(result.rows) == 2
+    assert result.extras[0.2]["ba_max_wait"] <= result.extras[0.0]["ba_max_wait"]
+
+
+def test_ext_backpressure_smoke():
+    from repro.experiments import run_ext_backpressure
+
+    result = run_ext_backpressure(capacities=(None, 16), burst_rate=400.0,
+                                  duration=6.0)
+    assert result.extras[16]["max_mailbox"] <= 16
+    assert result.extras[None]["max_mailbox"] > 16
+
+
+def test_ext_elasticity_smoke():
+    from repro.experiments import run_ext_elasticity
+
+    result = run_ext_elasticity(duration=10.0)
+    assert len(result.rows) == 3
+    assert result.extras["fifo reactive"]["worker_seconds"] >= (
+        result.extras["fifo static"]["worker_seconds"]
+    )

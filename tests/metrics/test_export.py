@@ -1,0 +1,71 @@
+"""Unit tests for JSON/CSV export."""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.metrics.collectors import JobMetrics
+from repro.metrics.export import job_metrics_to_json, result_to_csv, result_to_json
+
+
+def sample_result():
+    return ExperimentResult(
+        name="figX",
+        title="Title",
+        headers=["a", "b"],
+        rows=[["x", 1.5], ["y", float("nan")]],
+        notes="note",
+        extras={"k": {"nested": 2.0}, ("tuple", "key"): [1, 2]},
+    )
+
+
+class TestResultJson:
+    def test_round_trips(self):
+        payload = json.loads(result_to_json(sample_result()))
+        assert payload["name"] == "figX"
+        assert payload["headers"] == ["a", "b"]
+        assert payload["rows"][0] == ["x", 1.5]
+        assert payload["rows"][1][1] is None  # NaN -> null
+        assert "extras" not in payload
+
+    def test_extras_on_request(self):
+        payload = json.loads(result_to_json(sample_result(), include_extras=True))
+        assert payload["extras"]["k"] == {"nested": 2.0}
+        assert payload["extras"]["('tuple', 'key')"] == [1, 2]
+
+    def test_infinity_encoded(self):
+        result = sample_result()
+        result.rows = [["inf", float("inf")]]
+        payload = json.loads(result_to_json(result))
+        assert payload["rows"][0][1] == "inf"
+
+
+class TestResultCsv:
+    def test_csv_shape(self):
+        lines = result_to_csv(sample_result()).strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "x,1.5"
+        assert lines[2] == "y,"  # NaN becomes empty cell
+
+
+class TestJobMetricsJson:
+    def test_full_dump(self):
+        metrics = JobMetrics("job", "LS", 0.8)
+        metrics.record_output(1.0, 0.1, 10, value=5.0)
+        metrics.record_queueing("source", 0.002)
+        metrics.record_execution("source", 0.001)
+        metrics.tuples_ingested = 10
+        payload = json.loads(job_metrics_to_json(metrics))
+        assert payload["name"] == "job"
+        assert payload["outputs"]["latencies"] == [0.1]
+        assert payload["summary"]["count"] == 1
+        assert payload["success_rate"] == 1.0
+        assert payload["breakdown"][0]["stage"] == "source"
+        assert payload["breakdown"][0]["mean_queueing"] == pytest.approx(0.002)
+
+    def test_empty_metrics_nan_safe(self):
+        payload = json.loads(job_metrics_to_json(JobMetrics("j", "BA", 1.0)))
+        assert payload["summary"]["p99"] is None
+        assert payload["success_rate"] is None

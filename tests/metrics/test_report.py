@@ -1,0 +1,43 @@
+"""Unit tests for the plain-text table renderer."""
+
+import pytest
+
+from repro.metrics.report import format_latency_ms, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        table = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = table.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert "----" not in lines[0]
+        assert "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        table = format_table(["x"], [[1]], title="Hello")
+        assert table.splitlines()[0] == "Hello"
+
+    def test_nan_renders_as_na(self):
+        table = format_table(["x"], [[float("nan")]])
+        assert "n/a" in table
+
+    def test_scientific_for_tiny_values(self):
+        table = format_table(["x"], [[1e-9]], precision=2)
+        assert "e-09" in table
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_precision(self):
+        table = format_table(["x"], [[1.23456]], precision=4)
+        assert "1.2346" in table
+
+
+class TestFormatLatency:
+    def test_milliseconds(self):
+        assert format_latency_ms(0.0123) == "12.3ms"
+
+    def test_nan(self):
+        assert format_latency_ms(float("nan")) == "n/a"

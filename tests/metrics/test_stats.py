@@ -1,0 +1,86 @@
+"""Unit tests for statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.stats import cdf_points, percentile, ratio, summarize
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+
+    def test_extremes(self):
+        values = list(range(101))
+        assert percentile(values, 0) == 0
+        assert percentile(values, 100) == 100
+
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestSummarize:
+    def test_known_sample(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.p50 == 2.5
+        assert summary.max == 4.0
+
+    def test_empty_sample(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert math.isnan(summary.p99)
+
+    def test_as_row_scales(self):
+        row = summarize([0.5]).as_row(scale=1000.0)
+        assert row[0] == 1
+        assert row[2] == 500.0  # p50 in ms
+
+
+class TestCdf:
+    def test_endpoints(self):
+        points = cdf_points([1.0, 2.0, 3.0], points=5)
+        assert points[0] == (1.0, 0.0)
+        assert points[-1] == (3.0, 1.0)
+
+    def test_monotone(self):
+        rng = np.random.default_rng(0)
+        points = cdf_points(rng.random(100), points=20)
+        values = [v for v, _ in points]
+        assert values == sorted(values)
+
+    def test_empty(self):
+        assert cdf_points([]) == []
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_points([1.0], points=1)
+
+
+class TestRatio:
+    def test_plain(self):
+        assert ratio(6.0, 3.0) == 2.0
+
+    def test_division_by_zero_is_nan(self):
+        assert math.isnan(ratio(1.0, 0.0))
+
+    def test_nan_propagates(self):
+        assert math.isnan(ratio(float("nan"), 2.0))
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=100))
+@settings(max_examples=100)
+def test_property_summary_ordering(values):
+    summary = summarize(values)
+    assert summary.p50 <= summary.p95 <= summary.p99 <= summary.max
+    epsilon = 1e-9 * max(1.0, abs(summary.max))
+    assert min(values) - epsilon <= summary.mean <= max(values) + epsilon

@@ -1,0 +1,52 @@
+"""Unit and integration tests for the evaluation queries IPQ1-IPQ4."""
+
+import pytest
+
+from repro.queries.ipq import all_ipqs, ipq1, ipq2, ipq3, ipq4
+from repro.runtime.config import EngineConfig
+from repro.runtime.engine import StreamEngine
+from repro.workloads.arrivals import FixedBatchSize, PeriodicArrivals, drive_all_sources
+
+
+class TestStructure:
+    def test_ipq1_is_four_stage_pipeline(self):
+        job = ipq1()
+        assert len(job.graph.stage_names) == 4  # source, agg, agg, sink
+
+    def test_ipq2_uses_sliding_window(self):
+        job = ipq2()
+        first_agg = job.graph.stage(job.graph.stage_names[1])
+        assert not first_agg.window.is_tumbling
+
+    def test_ipq3_counts(self):
+        job = ipq3()
+        assert job.graph.stage(job.graph.stage_names[1]).agg == "count"
+
+    def test_ipq4_has_join(self):
+        job = ipq4()
+        kinds = {job.graph.stage(n).kind for n in job.graph.stage_names}
+        assert "window_join" in kinds
+        assert len(job.graph.source_stages) == 2
+
+    def test_ipq4_join_is_heavier(self):
+        job = ipq4()
+        join_cost = job.graph.stage("join").cost
+        agg_cost = job.graph.stage("agg").cost
+        assert join_cost.nominal(1000) > agg_cost.nominal(1000)
+
+    def test_all_ipqs_unique_names(self):
+        names = [j.name for j in all_ipqs()]
+        assert len(set(names)) == 4
+
+
+@pytest.mark.parametrize("factory", [ipq1, ipq2, ipq3, ipq4])
+def test_each_query_runs_end_to_end(factory):
+    job = factory()
+    engine = StreamEngine(EngineConfig(scheduler="cameo", nodes=1,
+                                       workers_per_node=4), [job])
+    drive_all_sources(engine, job, lambda s, i: PeriodicArrivals(0.5),
+                      sizer=FixedBatchSize(200), until=8.0)
+    engine.run(until=12.0)
+    metrics = engine.metrics.job(job.name)
+    assert metrics.output_count > 0
+    assert metrics.success_rate() > 0.9  # idle cluster: everything on time

@@ -1,0 +1,45 @@
+"""Unit tests for EngineConfig validation and derived properties."""
+
+import pytest
+
+from repro.runtime.config import EngineConfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = EngineConfig()
+        assert config.scheduler == "cameo"
+        assert config.policy == "llf"
+
+    @pytest.mark.parametrize("field,value", [
+        ("scheduler", "spark"),
+        ("policy", "psychic"),
+        ("nodes", 0),
+        ("workers_per_node", 0),
+        ("quantum", -1.0),
+        ("local_delay", -1.0),
+        ("remote_delay", -1.0),
+        ("profile_noise_sigma", -0.1),
+        ("switch_cost", -0.1),
+        ("starvation_aging", -0.1),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            EngineConfig(**{field: value})
+
+
+class TestContextsEnabled:
+    def test_cameo_defaults_on(self):
+        assert EngineConfig(scheduler="cameo").contexts_enabled
+
+    def test_baselines_default_off(self):
+        assert not EngineConfig(scheduler="fifo").contexts_enabled
+        assert not EngineConfig(scheduler="orleans").contexts_enabled
+
+    def test_explicit_override(self):
+        assert EngineConfig(scheduler="fifo", generate_contexts=True).contexts_enabled
+        assert not EngineConfig(scheduler="cameo", generate_contexts=False).contexts_enabled
+
+
+def test_total_workers():
+    assert EngineConfig(nodes=3, workers_per_node=4).total_workers == 12

@@ -1,0 +1,81 @@
+"""Property-based invariants over randomized small workloads.
+
+Each example builds a small random job, drives it briefly, and checks the
+invariants every run must satisfy regardless of parameters:
+
+* conservation — every ingested tuple is processed at a source exactly once;
+* latency sanity — all recorded latencies are positive and bounded by the
+  run horizon;
+* output monotonicity — sink outputs are recorded in nondecreasing time;
+* determinism — a repeated run yields identical outputs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.config import EngineConfig
+from repro.runtime.engine import StreamEngine
+from repro.workloads.arrivals import FixedBatchSize, PeriodicArrivals, drive_all_sources
+from repro.workloads.tenants import make_aggregation_job
+
+workload = st.fixed_dictionaries({
+    "scheduler": st.sampled_from(["cameo", "fifo", "orleans"]),
+    "sources": st.integers(1, 3),
+    "parallelism": st.integers(1, 2),
+    "window": st.sampled_from([0.5, 1.0, 2.0]),
+    "period": st.sampled_from([0.25, 0.5, 1.0]),
+    "batch": st.sampled_from([10, 100]),
+    "workers": st.integers(1, 2),
+    "seed": st.integers(0, 100),
+})
+
+
+def run(params, duration=6.0, drain=8.0):
+    job = make_aggregation_job(
+        "job", source_count=params["sources"], window=params["window"],
+        agg_parallelism=params["parallelism"], latency_constraint=5.0,
+    )
+    engine = StreamEngine(
+        EngineConfig(scheduler=params["scheduler"], nodes=1,
+                     workers_per_node=params["workers"], seed=params["seed"]),
+        [job],
+    )
+    drivers = drive_all_sources(
+        engine, job, lambda s, i: PeriodicArrivals(params["period"]),
+        sizer=FixedBatchSize(params["batch"]), until=duration,
+    )
+    engine.run(until=duration + drain)
+    return engine, drivers
+
+
+@given(params=workload)
+@settings(max_examples=25, deadline=None)
+def test_invariants_hold_for_random_workloads(params):
+    engine, drivers = run(params)
+    metrics = engine.metrics.job("job")
+
+    sent = sum(d.tuples_sent for d in drivers)
+    assert metrics.tuples_ingested == sent
+    assert metrics.tuples_processed == sent  # conservation after drain
+
+    horizon = 14.0
+    for latency in metrics.latencies:
+        assert 0.0 < latency < horizon
+
+    assert metrics.output_times == sorted(metrics.output_times)
+
+    for node in engine.nodes:
+        for worker in node.workers:
+            assert 0.0 <= worker.busy_time <= horizon + 1e-9
+
+
+@given(params=workload)
+@settings(max_examples=8, deadline=None)
+def test_runs_are_deterministic(params):
+    first, _ = run(params)
+    second, _ = run(params)
+    a = first.metrics.job("job")
+    b = second.metrics.job("job")
+    assert a.output_times == b.output_times
+    assert a.latencies == b.latencies
+    assert a.output_values == b.output_values

@@ -1,0 +1,63 @@
+"""Unit tests for operator placement strategies."""
+
+import pytest
+
+from repro.dataflow.operators import OpAddress
+from repro.runtime.placement import Placement
+
+
+def addresses(jobs=("a", "b"), stages=("s1", "s2"), parallelism=2):
+    return [
+        OpAddress(job, stage, index)
+        for job in jobs
+        for stage in stages
+        for index in range(parallelism)
+    ]
+
+
+class TestRoundRobin:
+    def test_spreads_across_nodes(self):
+        assignment = Placement("round_robin", 4).assign(addresses())
+        assert set(assignment.values()) == {0, 1, 2, 3}
+
+    def test_deterministic(self):
+        addrs = addresses()
+        a = Placement("round_robin", 3).assign(addrs)
+        b = Placement("round_robin", 3).assign(addrs)
+        assert a == b
+
+    def test_interleaves_jobs(self):
+        # consecutive operators of one job land on different nodes
+        assignment = Placement("round_robin", 2).assign(addresses(jobs=("a",)))
+        nodes = list(assignment.values())
+        assert nodes == [0, 1, 0, 1]
+
+
+class TestPackByJob:
+    def test_each_job_on_one_node(self):
+        assignment = Placement("pack_by_job", 4).assign(addresses())
+        for address, node in assignment.items():
+            expected = 0 if address.job == "a" else 1
+            assert node == expected
+
+    def test_wraps_when_more_jobs_than_nodes(self):
+        addrs = addresses(jobs=("a", "b", "c"))
+        assignment = Placement("pack_by_job", 2).assign(addrs)
+        job_nodes = {a.job: n for a, n in assignment.items()}
+        assert job_nodes == {"a": 0, "b": 1, "c": 0}
+
+
+class TestSingleNode:
+    def test_everything_on_node_zero(self):
+        assignment = Placement("single_node", 5).assign(addresses())
+        assert set(assignment.values()) == {0}
+
+
+class TestValidation:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            Placement("teleport", 2)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            Placement("round_robin", 0)

@@ -1,0 +1,171 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+def test_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_starts_at_custom_time():
+    assert Simulator(start_time=5.0).now == 5.0
+
+
+def test_schedule_and_run_fires_callback():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.5, fired.append, "a")
+    sim.run()
+    assert fired == ["a"]
+    assert sim.now == 1.5
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, order.append, 3)
+    sim.schedule(1.0, order.append, 1)
+    sim.schedule(2.0, order.append, 2)
+    sim.run()
+    assert order == [1, 2, 3]
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    order = []
+    for i in range(10):
+        sim.schedule(1.0, order.append, i)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-1.0, lambda: None)
+
+
+def test_nan_time_raises():
+    with pytest.raises(SimulationError):
+        Simulator().schedule_at(float("nan"), lambda: None)
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(10.0, fired.append, "late")
+    sim.run(until=5.0)
+    assert fired == ["early"]
+    assert sim.now == 5.0  # clock advanced to the horizon
+    sim.run(until=20.0)
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_clock_on_empty_heap():
+    sim = Simulator()
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.run()
+    handle.cancel()  # must not raise
+
+
+def test_callbacks_can_schedule_more_events():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 5.0
+
+
+def test_zero_delay_event_fires_at_same_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(2.0, lambda: sim.schedule(0.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [2.0]
+
+
+def test_max_events_limits_firing():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(float(i + 1), lambda: None)
+    fired = sim.run(max_events=3)
+    assert fired == 3
+    assert sim.pending_count == 7
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    handle.cancel()
+    assert sim.peek_time() == 2.0
+
+
+def test_peek_time_empty():
+    assert Simulator().peek_time() is None
+
+
+def test_fired_count_tracks_executions():
+    sim = Simulator()
+    for _ in range(4):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.fired_count == 4
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, reenter)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_step_returns_false_when_empty():
+    assert Simulator().step() is False
+
+
+def test_handle_reports_time():
+    sim = Simulator()
+    handle = sim.schedule(4.5, lambda: None)
+    assert handle.time == 4.5

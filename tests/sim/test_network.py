@@ -1,0 +1,80 @@
+"""Unit tests for network delay models and FIFO channels."""
+
+import numpy as np
+import pytest
+
+from repro.sim.network import ChannelTable, ConstantDelay, FifoChannel, JitteredDelay
+
+
+class TestConstantDelay:
+    def test_local_vs_remote(self):
+        model = ConstantDelay(local=0.0, remote=0.001)
+        assert model.delay(0, 0) == 0.0
+        assert model.delay(0, 1) == 0.001
+
+    def test_same_node_is_local(self):
+        model = ConstantDelay(local=0.1, remote=0.2)
+        assert model.delay(3, 3) == 0.1
+
+
+class TestJitteredDelay:
+    def test_zero_sigma_is_constant(self):
+        rng = np.random.default_rng(0)
+        model = JitteredDelay(rng, local=0.001, remote=0.002, sigma=0.0)
+        assert model.delay(0, 0) == 0.001
+        assert model.delay(0, 1) == 0.002
+
+    def test_jitter_is_positive(self):
+        rng = np.random.default_rng(0)
+        model = JitteredDelay(rng, local=0.001, remote=0.002, sigma=0.5)
+        for _ in range(100):
+            assert model.delay(0, 1) > 0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            JitteredDelay(np.random.default_rng(0), local=-1.0)
+
+
+class TestFifoChannel:
+    def test_plain_delivery(self):
+        channel = FifoChannel()
+        assert channel.deliver_time(1.0, 0.5) == 1.5
+
+    def test_never_reorders(self):
+        channel = FifoChannel()
+        first = channel.deliver_time(1.0, 1.0)  # arrives at 2.0
+        second = channel.deliver_time(1.5, 0.1)  # would arrive at 1.6 -> clamped
+        assert second >= first
+
+    def test_monotone_across_many_sends(self):
+        rng = np.random.default_rng(1)
+        channel = FifoChannel()
+        now = 0.0
+        last = float("-inf")
+        for _ in range(200):
+            now += rng.exponential(0.01)
+            arrival = channel.deliver_time(now, rng.exponential(0.005))
+            assert arrival >= last
+            last = arrival
+
+    def test_negative_transit_rejected(self):
+        with pytest.raises(ValueError):
+            FifoChannel().deliver_time(0.0, -0.1)
+
+
+class TestChannelTable:
+    def test_same_pair_same_channel(self):
+        table = ChannelTable()
+        assert table.channel("a", "b") is table.channel("a", "b")
+
+    def test_different_pairs_different_channels(self):
+        table = ChannelTable()
+        assert table.channel("a", "b") is not table.channel("b", "a")
+        assert len(table) == 2
+
+    def test_directionality_preserves_independent_ordering(self):
+        table = ChannelTable()
+        ab = table.channel("a", "b")
+        ab.deliver_time(0.0, 10.0)  # a->b backed up until t=10
+        ba = table.channel("b", "a")
+        assert ba.deliver_time(0.0, 0.1) == pytest.approx(0.1)

@@ -1,0 +1,47 @@
+"""Tests for the command-line figure runner."""
+
+import pathlib
+
+import pytest
+
+from repro import cli
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig09" in out
+        assert "ext_starvation" in out
+
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fig99"])
+
+    def test_runs_a_cheap_figure(self, capsys):
+        assert cli.main(["fig02"]) == 0
+        out = capsys.readouterr().out
+        assert "Workload characterisation" in out
+
+    def test_out_writes_file(self, tmp_path, capsys):
+        assert cli.main(["fig02", "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        written = tmp_path / "fig02.txt"
+        assert written.exists()
+        assert "top 10%" in written.read_text()
+
+    def test_every_registered_runner_is_callable(self):
+        for name, runner in cli.RUNNERS.items():
+            assert callable(runner), name
+
+
+def test_out_json_writes_json(tmp_path, capsys):
+    import json
+
+    from repro import cli
+
+    assert cli.main(["fig02", "--out", str(tmp_path), "--json"]) == 0
+    capsys.readouterr()
+    payload = json.loads((tmp_path / "fig02.json").read_text())
+    assert payload["name"] == "fig02"
+    assert payload["rows"]

@@ -1,0 +1,44 @@
+"""Smoke tests for the example scripts.
+
+Each example must import cleanly and expose a ``main``; the fastest one is
+executed end to end.  (The heavier examples run the same code paths the
+benchmark suite exercises at scale.)
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "multi_tenant_isolation", "fair_sharing_tokens",
+            "policy_comparison", "trace_replay", "schedule_timeline",
+            "custom_policy"} <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    module = load(path)
+    assert callable(getattr(module, "main", None))
+
+
+def test_quickstart_runs_end_to_end(capsys):
+    module = load(EXAMPLES_DIR / "quickstart.py")
+    module.main()
+    out = capsys.readouterr().out
+    assert "revenue-per-second" in out
+    assert "deadline success rate" in out

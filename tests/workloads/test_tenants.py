@@ -1,0 +1,85 @@
+"""Unit tests for tenant job factories."""
+
+import pytest
+
+from repro.dataflow.jobs import GROUP_BULK_ANALYTICS, GROUP_LATENCY_SENSITIVE
+from repro.workloads.tenants import (
+    make_aggregation_job,
+    make_bulk_analytics_job,
+    make_join_job,
+    make_latency_sensitive_job,
+)
+
+
+class TestAggregationJob:
+    def test_default_stage_layout(self):
+        job = make_aggregation_job("j")
+        assert job.graph.stage_names == ["source", "agg0", "agg1", "sink"]
+
+    def test_source_parallelism(self):
+        job = make_aggregation_job("j", source_count=16)
+        assert job.graph.stage("source").parallelism == 16
+        assert job.source_count == 16
+
+    def test_first_agg_key_partitioned_when_parallel(self):
+        job = make_aggregation_job("j", agg_parallelism=4)
+        assert job.graph.stage("agg0").key_partitioned
+        assert job.graph.stage("agg0").parallelism == 4
+        assert job.graph.stage("agg1").parallelism == 1
+
+    def test_single_parallelism_not_partitioned(self):
+        job = make_aggregation_job("j", agg_parallelism=1)
+        assert not job.graph.stage("agg0").key_partitioned
+
+    def test_sliding_first_stage(self):
+        job = make_aggregation_job("j", window=2.0, slide=0.5)
+        w0 = job.graph.stage("agg0").window
+        assert w0.size == 2.0 and w0.slide == 0.5
+        # later stages tick on the slide grid
+        assert job.graph.stage("agg1").window.size == 0.5
+
+    def test_cost_scale(self):
+        base = make_aggregation_job("a")
+        scaled = make_aggregation_job("b", cost_scale=10.0)
+        assert scaled.graph.stage("agg0").cost.base == pytest.approx(
+            10.0 * base.graph.stage("agg0").cost.base
+        )
+
+    def test_zero_stages_rejected(self):
+        with pytest.raises(ValueError):
+            make_aggregation_job("j", agg_stages=0)
+
+    def test_agg_stage_count(self):
+        job = make_aggregation_job("j", agg_stages=3)
+        assert job.graph.stage_names == ["source", "agg0", "agg1", "agg2", "sink"]
+
+
+class TestGroupFactories:
+    def test_ls_defaults(self):
+        job = make_latency_sensitive_job("ls")
+        assert job.group == GROUP_LATENCY_SENSITIVE
+        assert job.latency_constraint == 0.8
+        assert job.graph.stage("agg0").window.size == 1.0
+        assert job.is_latency_sensitive
+
+    def test_ba_defaults(self):
+        job = make_bulk_analytics_job("ba")
+        assert job.group == GROUP_BULK_ANALYTICS
+        assert job.latency_constraint == 7200.0
+        assert job.graph.stage("agg0").window.size == 10.0
+        assert not job.is_latency_sensitive
+
+
+class TestJoinJob:
+    def test_structure(self):
+        job = make_join_job("j", source_count=3)
+        graph = job.graph
+        assert set(graph.source_stages) == {"source_a", "source_b"}
+        assert graph.upstream("join") == ["source_a", "source_b"]
+        assert graph.sink_stages == ["sink"]
+        assert graph.stage("source_a").parallelism == 3
+
+    def test_windows_match(self):
+        job = make_join_job("j", window=2.0)
+        assert job.graph.stage("join").window.size == 2.0
+        assert job.graph.stage("agg").window.size == 2.0
