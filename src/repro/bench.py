@@ -1,0 +1,387 @@
+"""Benchmark-regression harness: ``repro bench``.
+
+Times the hot paths this reproduction lives on — the fig08 multi-tenant
+figure workload end-to-end, plus microbenches of the simulation kernel and
+the scheduler data structures — and writes the measurements to
+``BENCH_<label>.json`` so every PR leaves a perf trajectory behind.
+
+Usage::
+
+    python -m repro.cli bench --label seed
+    python -m repro.cli bench --label pr2 --compare BENCH_seed.json
+    python -m repro.cli bench --quick            # fast smoke (CI)
+
+The workload benches are single-shot wall-clock timings of deterministic
+simulations (the dominant cost is the simulated cluster's message churn);
+the microbenches use best-of-N repetition.  The harness deliberately calls
+the *same* entry points the engine uses — e.g. the kernel bench measures
+``schedule_at_fast`` when the kernel provides it and falls back to
+``schedule_at`` on older checkouts, so a comparison across revisions times
+"what the engine pays per event" on each side.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Callable, Optional
+
+
+def _best_of(fn: Callable[[], None], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+# ----------------------------------------------------------------------
+# workload benches (end-to-end figure workloads)
+# ----------------------------------------------------------------------
+
+def bench_fig08_multi_tenant(duration: float = 30.0, seed: int = 4) -> dict:
+    """The fig08 multi-tenant cell (all three schedulers), timed end-to-end."""
+    from repro.experiments.common import TenantMix, run_tenant_mix
+
+    result: dict = {"kind": "workload", "unit": "s", "schedulers": {}}
+    total = 0.0
+    messages = 0
+    for scheduler in ("cameo", "orleans", "fifo"):
+        mix = TenantMix(ls_count=4, ba_count=4, ba_msg_rate=60.0)
+        start = time.perf_counter()
+        engine = run_tenant_mix(
+            scheduler, mix, duration=duration, seed=seed, nodes=2, workers_per_node=2
+        )
+        elapsed = time.perf_counter() - start
+        result["schedulers"][scheduler] = {
+            "seconds": elapsed,
+            "messages": engine.metrics.total_messages,
+        }
+        total += elapsed
+        messages += engine.metrics.total_messages
+    result["seconds"] = total
+    result["messages"] = messages
+    result["us_per_message"] = total / messages * 1e6 if messages else float("nan")
+    return result
+
+
+def bench_fig07_single_tenant(duration: float = 20.0, seed: int = 2) -> dict:
+    """A single-tenant windowed pipeline under Cameo (fig07-style load)."""
+    from repro.experiments.common import TenantMix, run_tenant_mix
+
+    mix = TenantMix(ls_count=4, ba_count=0)
+    start = time.perf_counter()
+    engine = run_tenant_mix(
+        "cameo", mix, duration=duration, seed=seed, nodes=1, workers_per_node=4
+    )
+    elapsed = time.perf_counter() - start
+    return {
+        "kind": "workload",
+        "unit": "s",
+        "seconds": elapsed,
+        "messages": engine.metrics.total_messages,
+    }
+
+
+# ----------------------------------------------------------------------
+# microbenches (kernel + scheduler data structures)
+# ----------------------------------------------------------------------
+
+def bench_kernel_events(n: int = 200_000, chains: int = 64, repeats: int = 3) -> dict:
+    """Steady-state schedule-and-fire throughput of the kernel event path.
+
+    ``chains`` self-rescheduling callbacks keep a small, constant-size heap
+    — the engine's pending set is the completions and deliveries currently
+    in flight, not the whole workload — so the timing isolates the per-event
+    cost the engine actually pays: one schedule (the allocation-lean
+    ``schedule_fast`` when the kernel provides it, else ``schedule``) plus
+    one dispatch.
+    """
+    from repro.sim.kernel import Simulator
+
+    def run() -> None:
+        sim = Simulator()
+        schedule = getattr(sim, "schedule_fast", None) or sim.schedule
+        remaining = n
+
+        def tick() -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining > 0:
+                schedule(1e-6, tick)
+
+        for _ in range(chains):
+            schedule(1e-6, tick)
+        sim.run()
+
+    seconds = _best_of(run, repeats)
+    return {
+        "kind": "micro",
+        "unit": "ns/op",
+        "seconds": seconds,
+        "ops": n,
+        "ns_per_op": seconds / n * 1e9,
+    }
+
+
+class _OpStub:
+    __slots__ = ("mailbox", "busy", "queue_token", "queued_key", "queued_seq", "in_queue")
+
+    def __init__(self, mailbox):
+        self.mailbox = mailbox
+        self.busy = False
+        self.queue_token = -1
+        self.queued_key = None
+        self.queued_seq = 0
+        self.in_queue = False
+
+
+def _pc_messages(n: int):
+    from repro.core.context import PriorityContext
+    from repro.dataflow.messages import Message
+
+    return [
+        Message(
+            target=None,
+            pc=PriorityContext(pri_local=float(i % 97), pri_global=float(i % 89)),
+        )
+        for i in range(n)
+    ]
+
+
+def bench_scheduler_fanin(n: int = 100_000, operators: int = 32, repeats: int = 3) -> dict:
+    """Fan-in notify churn on the Cameo run queue, isolated.
+
+    Every operator's mailbox is pre-filled (untimed) with equal-priority
+    messages and queued once; the timed section then delivers ``n``
+    notifies round-robin to the already-queued operators — the head
+    priority key never changes, the textbook fan-in pattern — and finally
+    drains the queue.  On the seed scheduler each notify pushes a fresh
+    heap entry and the drain wades through all of them; with the
+    key-unchanged skip a notify is O(1) and the drain pops one live entry
+    per operator.
+    """
+    from repro.core.context import PriorityContext
+    from repro.core.scheduler import CameoRunQueue
+    from repro.dataflow.messages import Message
+
+    msg = Message(target=None, pc=PriorityContext(pri_local=1.0, pri_global=1.0))
+    per_op = max(1, n // operators)
+
+    def run_once() -> float:
+        queue = CameoRunQueue()
+        ops = [_OpStub(queue.create_mailbox()) for _ in range(operators)]
+        for op in ops:
+            for _ in range(per_op):
+                op.mailbox.push(msg)
+            queue.notify(op, now=0.0)
+        start = time.perf_counter()
+        for i in range(n):
+            queue.notify(ops[i % operators], now=0.0)
+        while queue.pop(0) is not None:
+            pass
+        return time.perf_counter() - start
+
+    seconds = min(run_once() for _ in range(repeats))
+    return {
+        "kind": "micro",
+        "unit": "ns/op",
+        "seconds": seconds,
+        "ops": n,
+        "ns_per_op": seconds / n * 1e9,
+    }
+
+
+def bench_scheduler_churn(n: int = 100_000, operators: int = 64, repeats: int = 3) -> dict:
+    """Push/notify/pop cycle across many operators (fig12-style churn)."""
+    from repro.core.scheduler import CameoRunQueue
+
+    messages = _pc_messages(n)
+
+    def run() -> None:
+        queue = CameoRunQueue()
+        ops = [_OpStub(queue.create_mailbox()) for _ in range(operators)]
+        for i, msg in enumerate(messages):
+            op = ops[i % operators]
+            op.mailbox.push(msg)
+            queue.notify(op, now=float(i))
+            popped = queue.pop(0)
+            if popped is not None:
+                popped.mailbox.pop()
+
+    seconds = _best_of(run, repeats)
+    return {
+        "kind": "micro",
+        "unit": "ns/op",
+        "seconds": seconds,
+        "ops": n,
+        "ns_per_op": seconds / n * 1e9,
+    }
+
+
+def bench_message_alloc(n: int = 200_000, repeats: int = 3) -> dict:
+    """Message + PriorityContext construction (one per hop on the hot path)."""
+    from repro.core.context import PriorityContext
+    from repro.dataflow.messages import Message
+
+    def run() -> None:
+        for i in range(n):
+            Message(
+                target=None,
+                p=float(i),
+                t=float(i),
+                deps_arrival=float(i),
+                pc=PriorityContext(pri_local=float(i), pri_global=float(i)),
+                channel_index=0,
+            )
+
+    seconds = _best_of(run, repeats)
+    return {
+        "kind": "micro",
+        "unit": "ns/op",
+        "seconds": seconds,
+        "ops": n,
+        "ns_per_op": seconds / n * 1e9,
+    }
+
+
+#: bench name -> (factory, kwargs for --quick mode)
+BENCHES: dict = {
+    "fig08_multi_tenant": (bench_fig08_multi_tenant, {"duration": 5.0}),
+    "fig07_single_tenant": (bench_fig07_single_tenant, {"duration": 5.0}),
+    "kernel_events": (bench_kernel_events, {"n": 20_000, "repeats": 2}),
+    "scheduler_fanin": (bench_scheduler_fanin, {"n": 10_000, "repeats": 2}),
+    "scheduler_churn": (bench_scheduler_churn, {"n": 10_000, "repeats": 2}),
+    "message_alloc": (bench_message_alloc, {"n": 20_000, "repeats": 2}),
+}
+
+#: benches the acceptance gate aggregates ("scheduler/kernel microbenches");
+#: message_alloc is reported alongside but measures allocation, not the
+#: scheduler or kernel data structures
+MICRO_BENCHES = ("kernel_events", "scheduler_fanin", "scheduler_churn")
+
+
+def run_benches(
+    label: str, quick: bool = False, only: Optional[list[str]] = None
+) -> dict:
+    report: dict = {
+        "label": label,
+        "quick": quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benches": {},
+    }
+    for name, (factory, quick_kwargs) in BENCHES.items():
+        if only and name not in only:
+            continue
+        kwargs = quick_kwargs if quick else {}
+        print(f"  [{name}] ...", end="", flush=True)
+        result = factory(**kwargs)
+        report["benches"][name] = result
+        per_op = result.get("ns_per_op")
+        detail = f"{per_op:.0f} ns/op" if per_op else f"{result['seconds']:.2f}s"
+        print(f" {result['seconds']:.3f}s ({detail})")
+    return report
+
+
+def compare_reports(baseline: dict, current: dict) -> tuple[str, dict]:
+    """Render a speedup table of ``current`` against ``baseline``.
+
+    Returns the rendered text and a summary dict with the aggregate
+    workload and microbench speedups (baseline seconds / current seconds).
+    """
+    rows = []
+    speedups: dict[str, float] = {}
+    for name, entry in current["benches"].items():
+        base = baseline.get("benches", {}).get(name)
+        if base is None:
+            rows.append((name, entry["seconds"], None, None))
+            continue
+        speedup = base["seconds"] / entry["seconds"] if entry["seconds"] else float("inf")
+        speedups[name] = speedup
+        rows.append((name, entry["seconds"], base["seconds"], speedup))
+
+    lines = [
+        f"bench comparison: {current['label']} vs {baseline.get('label', '?')}",
+        f"{'bench':<24} {'current':>10} {'baseline':>10} {'speedup':>9}",
+    ]
+    if bool(baseline.get("quick")) != bool(current.get("quick")):
+        lines.insert(
+            1,
+            "WARNING: one side ran with --quick (reduced sizes) — "
+            "speedups below are not comparable",
+        )
+    for name, cur, base, speedup in rows:
+        if base is None:
+            lines.append(f"{name:<24} {cur:>9.3f}s {'-':>10} {'-':>9}")
+        else:
+            lines.append(f"{name:<24} {cur:>9.3f}s {base:>9.3f}s {speedup:>8.2f}x")
+
+    summary = {}
+    workload = speedups.get("fig08_multi_tenant")
+    if workload is not None:
+        summary["fig08_speedup"] = workload
+        lines.append(f"fig08 multi-tenant workload speedup: {workload:.2f}x")
+    micro = [speedups[n] for n in MICRO_BENCHES if n in speedups]
+    if micro:
+        geomean = 1.0
+        for s in micro:
+            geomean *= s
+        geomean **= 1.0 / len(micro)
+        summary["micro_geomean_speedup"] = geomean
+        lines.append(f"scheduler/kernel microbench speedup (geomean): {geomean:.2f}x")
+    return "\n".join(lines), summary
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    import argparse
+    import pathlib
+
+    parser = argparse.ArgumentParser(
+        prog="repro.bench", description="Hot-path benchmark-regression harness."
+    )
+    parser.add_argument("--label", default="dev", help="label; writes BENCH_<label>.json")
+    parser.add_argument("--out", default=".", metavar="DIR", help="output directory")
+    parser.add_argument(
+        "--compare", default=None, metavar="JSON",
+        help="prior BENCH_*.json to compare against",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced sizes (CI smoke run)"
+    )
+    parser.add_argument(
+        "--bench", action="append", default=None, metavar="NAME",
+        help=f"run only the named bench(es); known: {', '.join(BENCHES)}",
+    )
+    args = parser.parse_args(argv)
+
+    if args.bench:
+        unknown = [b for b in args.bench if b not in BENCHES]
+        if unknown:
+            parser.error(f"unknown bench(es): {', '.join(unknown)}")
+    if args.compare and not pathlib.Path(args.compare).is_file():
+        parser.error(f"--compare file not found: {args.compare}")
+
+    print(f"running benches (label={args.label}, quick={args.quick})")
+    report = run_benches(args.label, quick=args.quick, only=args.bench)
+
+    out_path = pathlib.Path(args.out) / f"BENCH_{args.label}.json"
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+
+    if args.compare:
+        baseline = json.loads(pathlib.Path(args.compare).read_text())
+        text, _ = compare_reports(baseline, report)
+        print()
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro.cli
+    import sys
+
+    sys.exit(main())

@@ -6,9 +6,11 @@ Usage::
     python -m repro.cli fig09
     python -m repro.cli fig08a --out results/
     python -m repro.cli all
+    python -m repro.cli bench --label pr2 --compare BENCH_seed.json
 
 Each figure runs with its benchmark defaults and prints the same table the
-corresponding ``benchmarks/test_figNN_*.py`` archives.
+corresponding ``benchmarks/test_figNN_*.py`` archives.  ``bench`` runs the
+hot-path benchmark-regression harness (see :mod:`repro.bench`).
 """
 
 from __future__ import annotations
@@ -45,6 +47,12 @@ RUNNERS = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        from repro.bench import main as bench_main
+
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.cli",
         description="Regenerate figures from the Cameo (NSDI 2021) reproduction.",

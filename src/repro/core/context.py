@@ -26,7 +26,7 @@ from typing import Optional
 MIN_PRIORITY = float("inf")
 
 
-@dataclass
+@dataclass(slots=True)
 class PriorityContext:
     """Priority context attached to a message before it is sent.
 
@@ -63,7 +63,7 @@ class PriorityContext:
         return (self.pri_local, self.pri_global)
 
 
-@dataclass
+@dataclass(slots=True)
 class ReplyContext:
     """Reply context carried upstream on an acknowledgement (§5.1, Alg. 1).
 
@@ -87,19 +87,32 @@ class ReplyContext:
         return self.c_m + self.c_path
 
 
-@dataclass
+@dataclass(slots=True)
 class ReplyState:
     """Per-downstream-stage RC aggregate held by a context converter.
 
     The converter keeps the most recent RC per downstream stage; the
     effective ``C_path`` of the holder is the max over downstream stages of
     ``c_m + c_path`` (critical path = max over paths, Eq. 2).
+
+    :meth:`max_downstream_cost` is queried once per processed message
+    (PREPAREREPLY), so the max is cached and only recomputed when the
+    previous maximum's stage is downgraded.
     """
 
     by_stage: dict[str, ReplyContext] = field(default_factory=dict)
+    _max_cost: Optional[float] = None
+    _max_stage: Optional[str] = None
 
     def update(self, stage_name: str, rc: ReplyContext) -> None:
         self.by_stage[stage_name] = rc
+        cost = rc.c_m + rc.c_path
+        cached = self._max_cost
+        if cached is None or cost >= cached:
+            self._max_cost = cost
+            self._max_stage = stage_name
+        elif stage_name == self._max_stage:
+            self._max_cost = None  # previous max downgraded: recompute lazily
 
     def get(self, stage_name: str) -> Optional[ReplyContext]:
         return self.by_stage.get(stage_name)
@@ -108,4 +121,11 @@ class ReplyState:
         """Max over downstream stages of ``c_m + c_path`` (0 at a sink)."""
         if not self.by_stage:
             return 0.0
-        return max(rc.downstream_cost for rc in self.by_stage.values())
+        if self._max_cost is None:
+            best_stage, best_cost = None, float("-inf")
+            for stage, rc in self.by_stage.items():
+                cost = rc.c_m + rc.c_path
+                if cost > best_cost:
+                    best_stage, best_cost = stage, cost
+            self._max_cost, self._max_stage = best_cost, best_stage
+        return self._max_cost

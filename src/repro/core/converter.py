@@ -28,7 +28,12 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.context import PriorityContext, ReplyContext, ReplyState
-from repro.core.policies import PriorityRequest, SchedulingPolicy
+from repro.core.deadline import start_deadline
+from repro.core.policies import (
+    LeastLaxityFirstPolicy,
+    PriorityRequest,
+    SchedulingPolicy,
+)
 from repro.core.progress_map import ProgressMap
 from repro.core.transform import stage_slide, transform
 from repro.dataflow.windows import WindowSpec
@@ -95,28 +100,38 @@ class ContextConverter:
         rc = self.reply_state.get(target_stage)
         c_m = rc.c_m if rc is not None else 0.0
         c_path = rc.c_path if rc is not None else 0.0
-        request = PriorityRequest(
-            now=now,
-            p_mf=p_mf,
-            t_mf=t_mf,
-            t_m=t,
-            latency_constraint=self.latency_constraint,
-            c_m=c_m,
-            c_path=c_path,
-            at_source=at_source,
-            job_name=self.job_name,
-            source_index=self.source_index,
-            tuple_count=tuple_count,
-            inherited=inherited,
-        )
-        pri_local, pri_global = self.policy.assign(request)
+        policy = self.policy
+        if type(policy) is LeastLaxityFirstPolicy:
+            # the default policy's priority pair is the Eq. 3 deadline the
+            # PC records anyway — skip the request object round-trip
+            deadline = start_deadline(
+                t_mf, self.latency_constraint, c_m, c_path
+            )
+            pri_local, pri_global = p_mf, deadline
+        else:
+            request = PriorityRequest(
+                now=now,
+                p_mf=p_mf,
+                t_mf=t_mf,
+                t_m=t,
+                latency_constraint=self.latency_constraint,
+                c_m=c_m,
+                c_path=c_path,
+                at_source=at_source,
+                job_name=self.job_name,
+                source_index=self.source_index,
+                tuple_count=tuple_count,
+                inherited=inherited,
+            )
+            pri_local, pri_global = policy.assign(request)
+            deadline = request.llf_deadline
         pc = PriorityContext(
             pri_local=pri_local,
             pri_global=pri_global,
             p_mf=p_mf,
             t_mf=t_mf,
             latency_constraint=self.latency_constraint,
-            deadline=request.llf_deadline,
+            deadline=deadline,
         )
         if inherited is not None:
             pc.token_interval = inherited.token_interval

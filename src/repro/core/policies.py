@@ -22,9 +22,11 @@ from repro.core.context import PriorityContext
 from repro.core.deadline import start_deadline
 
 
-@dataclass
+@dataclass(slots=True)
 class PriorityRequest:
-    """Everything a policy may consult when assigning a priority."""
+    """Everything a policy may consult when assigning a priority.
+
+    One is allocated per context conversion (per hop), hence ``slots``."""
 
     now: float
     p_mf: float

@@ -40,7 +40,14 @@ class EventBatch:
     ``max_logical_time`` is the stream progress carried by the batch.
     """
 
-    __slots__ = ("logical_times", "values", "keys", "arrival_time", "source_id")
+    __slots__ = (
+        "logical_times",
+        "values",
+        "keys",
+        "arrival_time",
+        "source_id",
+        "times_sorted",
+    )
 
     def __init__(
         self,
@@ -49,6 +56,7 @@ class EventBatch:
         keys: Optional[Sequence[int]] = None,
         arrival_time: float = 0.0,
         source_id: int = 0,
+        times_sorted: bool = False,
     ):
         self.logical_times = np.asarray(logical_times, dtype=np.float64)
         if self.logical_times.ndim != 1:
@@ -66,6 +74,10 @@ class EventBatch:
             raise ValueError("logical_times, values and keys must have equal length")
         self.arrival_time = float(arrival_time)
         self.source_id = int(source_id)
+        #: caller-supplied monotonicity hint: when True, ``logical_times``
+        #: is non-decreasing and min/max are the endpoints (no reduction
+        #: needed on the hot path).  Selection preserves the property.
+        self.times_sorted = times_sorted
 
     def __len__(self) -> int:
         return len(self.logical_times)
@@ -73,15 +85,21 @@ class EventBatch:
     @property
     def max_logical_time(self) -> float:
         """Stream progress of the batch (−inf for an empty batch)."""
-        if len(self.logical_times) == 0:
+        times = self.logical_times
+        if len(times) == 0:
             return float("-inf")
-        return float(self.logical_times.max())
+        if self.times_sorted:
+            return float(times[-1])
+        return float(times.max())
 
     @property
     def min_logical_time(self) -> float:
-        if len(self.logical_times) == 0:
+        times = self.logical_times
+        if len(times) == 0:
             return float("inf")
-        return float(self.logical_times.min())
+        if self.times_sorted:
+            return float(times[0])
+        return float(times.min())
 
     @classmethod
     def _raw(
@@ -91,6 +109,7 @@ class EventBatch:
         keys: np.ndarray,
         arrival_time: float,
         source_id: int,
+        times_sorted: bool = False,
     ) -> "EventBatch":
         """Validation-free constructor for internal hot paths (arrays must
         already be well-formed, equal-length float64/float64/int64)."""
@@ -100,6 +119,7 @@ class EventBatch:
         batch.keys = keys
         batch.arrival_time = arrival_time
         batch.source_id = source_id
+        batch.times_sorted = times_sorted
         return batch
 
     def select(self, mask: np.ndarray) -> "EventBatch":
@@ -110,6 +130,7 @@ class EventBatch:
             self.keys[mask],
             arrival_time=self.arrival_time,
             source_id=self.source_id,
+            times_sorted=self.times_sorted,
         )
 
     @staticmethod
@@ -130,7 +151,10 @@ class EventBatch:
         arrival_time: float = 0.0,
         source_id: int = 0,
     ) -> "EventBatch":
-        return EventBatch([logical_time], [value], [key], arrival_time=arrival_time, source_id=source_id)
+        return EventBatch(
+            [logical_time], [value], [key],
+            arrival_time=arrival_time, source_id=source_id, times_sorted=True,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

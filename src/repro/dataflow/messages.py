@@ -11,12 +11,15 @@ operator.  It carries:
   influenced it (the paper's latency anchor, §4.1),
 * a :class:`~repro.core.context.PriorityContext` slot filled in by the
   context converter before the message is handed to the scheduler.
+
+``Message`` is a plain ``__slots__`` class rather than a dataclass: one is
+allocated per hop on the hot path (millions per experiment), so it must be
+cheap to construct and small in memory.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from enum import Enum
 from typing import TYPE_CHECKING, Any, Optional
 
@@ -26,6 +29,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 
 _message_ids = itertools.count()
 
+_NAN = float("nan")
+
 
 class MessageKind(Enum):
     """DATA messages invoke operator logic; ACK messages carry reply contexts."""
@@ -34,7 +39,6 @@ class MessageKind(Enum):
     ACK = "ack"
 
 
-@dataclass
 class Message:
     """A scheduled unit of work addressed to one operator.
 
@@ -42,18 +46,48 @@ class Message:
     runtime (``(job_name, stage_name, index)`` tuples in practice).
     """
 
-    target: Any
-    batch: Optional["EventBatch"] = None
-    p: float = 0.0
-    t: float = 0.0
-    deps_arrival: float = 0.0
-    sender: Any = None
-    kind: MessageKind = MessageKind.DATA
-    pc: Optional["PriorityContext"] = None
-    rc: Optional["ReplyContext"] = None
-    channel_index: int = 0
-    msg_id: int = field(default_factory=lambda: next(_message_ids))
-    enqueue_time: float = float("nan")
+    __slots__ = (
+        "target",
+        "batch",
+        "p",
+        "t",
+        "deps_arrival",
+        "sender",
+        "kind",
+        "pc",
+        "rc",
+        "channel_index",
+        "msg_id",
+        "enqueue_time",
+    )
+
+    def __init__(
+        self,
+        target: Any,
+        batch: Optional["EventBatch"] = None,
+        p: float = 0.0,
+        t: float = 0.0,
+        deps_arrival: float = 0.0,
+        sender: Any = None,
+        kind: MessageKind = MessageKind.DATA,
+        pc: Optional["PriorityContext"] = None,
+        rc: Optional["ReplyContext"] = None,
+        channel_index: int = 0,
+        msg_id: Optional[int] = None,
+        enqueue_time: float = _NAN,
+    ):
+        self.target = target
+        self.batch = batch
+        self.p = p
+        self.t = t
+        self.deps_arrival = deps_arrival
+        self.sender = sender
+        self.kind = kind
+        self.pc = pc
+        self.rc = rc
+        self.channel_index = channel_index
+        self.msg_id = next(_message_ids) if msg_id is None else msg_id
+        self.enqueue_time = enqueue_time
 
     @property
     def tuple_count(self) -> int:

@@ -14,6 +14,7 @@ times are the stream progress of the result.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -68,6 +69,10 @@ class OpAddress:
         return self._hash
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            # addresses are interned by construction (one per operator), so
+            # dict hits in the hot path resolve on identity
+            return True
         if not isinstance(other, OpAddress):
             return NotImplemented
         return (
@@ -256,10 +261,18 @@ class WindowedAggregateOperator(Operator):
         keys = batch.keys if self.by_key else np.zeros(len(batch), dtype=np.int64)
         values = batch.values
         slide, size = self.window.slide, self.window.size
-        first_end = (np.floor(p / slide) + 1.0) * slide
+        # the end assignment is monotone in p, so its min/max come from p's
+        # min/max — the common one-window case needs no per-element array
+        if batch.times_sorted:
+            p_min, p_max = float(p[0]), float(p[-1])
+        else:
+            p_min, p_max = float(p.min()), float(p.max())
+        e0_min = (math.floor(p_min / slide) + 1.0) * slide
+        e0_max = (math.floor(p_max / slide) + 1.0) * slide
+        first_end = None
         for k in range(self.window.window_count_containing()):
-            ends = first_end + k * slide
-            e_min, e_max = float(ends.min()), float(ends.max())
+            e_min = e0_min + k * slide
+            e_max = e0_max + k * slide
             if k == 0 and e_min == e_max:
                 # fast path: the whole batch falls into one window replica
                 # (k == 0 membership is guaranteed: end - size <= p < end)
@@ -268,6 +281,9 @@ class WindowedAggregateOperator(Operator):
                 else:
                     self.late_tuples += len(p)
                 continue
+            if first_end is None:
+                first_end = (np.floor(p / slide) + 1.0) * slide
+            ends = first_end + k * slide
             if k == 0:
                 mask = ends > self._emitted_through
                 self.late_tuples += int(len(p) - mask.sum())
@@ -312,16 +328,19 @@ class WindowedAggregateOperator(Operator):
                 mins = np.full(len(counts), np.inf)
                 np.maximum.at(maxs, keys, values)
                 np.minimum.at(mins, keys, values)
-            for key in present:
-                accumulator = state.accumulators.get(int(key))
+                maxs_l, mins_l = maxs.tolist(), mins.tolist()
+            accumulators = state.accumulators
+            counts_l, sums_l = counts.tolist(), sums.tolist()
+            for key in present.tolist():
+                accumulator = accumulators.get(key)
                 if accumulator is None:
                     accumulator = _Accumulator()
-                    state.accumulators[int(key)] = accumulator
-                accumulator.sum += float(sums[key])
-                accumulator.count += int(counts[key])
+                    accumulators[key] = accumulator
+                accumulator.sum += sums_l[key]
+                accumulator.count += counts_l[key]
                 if need_minmax:
-                    accumulator.max = max(accumulator.max, float(maxs[key]))
-                    accumulator.min = min(accumulator.min, float(mins[key]))
+                    accumulator.max = max(accumulator.max, maxs_l[key])
+                    accumulator.min = min(accumulator.min, mins_l[key])
         else:
             # arbitrary (large / negative) keys: sort-based grouping
             order = np.argsort(keys, kind="stable")
@@ -363,6 +382,7 @@ class WindowedAggregateOperator(Operator):
                 keys,
                 arrival_time=state.max_arrival,
                 source_id=self.address.index,
+                times_sorted=True,  # constant logical times
             )
             outputs.append(Emission(batch, window_end, state.max_arrival))
             self.triggers += 1
@@ -464,6 +484,7 @@ class WindowedJoinOperator(Operator):
                 keys,
                 arrival_time=arrival,
                 source_id=self.address.index,
+                times_sorted=True,  # constant logical times
             )
             outputs.append(Emission(batch, window_end, arrival))
             self.triggers += 1
@@ -497,6 +518,9 @@ class WindowedTopKOperator(WindowedAggregateOperator):
                     batch.keys[order],
                     arrival_time=batch.arrival_time,
                     source_id=batch.source_id,
+                    # window-result times are constant, so any reordering
+                    # preserves sortedness
+                    times_sorted=batch.times_sorted,
                 )
             trimmed.append(Emission(batch, emission.progress, emission.arrival))
         return trimmed

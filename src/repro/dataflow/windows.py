@@ -58,7 +58,16 @@ class WindowSpec:
         ``slide``.  This is the paper's TRANSFORM for ``S_ou < S_od``:
         ``p_MF = (p_M // S + 1) * S``.
         """
-        return (math.floor(logical_time / self.slide) + 1) * self.slide
+        end = (math.floor(logical_time / self.slide) + 1) * self.slide
+        # Float division can land the quotient on the wrong grid step at
+        # boundaries (e.g. a tiny negative time divides to -0.0, floors to
+        # 0, and the event would fall in no window).  Re-establish the
+        # invariant ``end - slide <= logical_time < end`` exactly.
+        while end - self.slide > logical_time:
+            end -= self.slide
+        while end <= logical_time:
+            end += self.slide
+        return end
 
     def window_ends_containing(self, logical_time: float) -> Iterator[float]:
         """All window ends whose windows ``[end - size, end)`` contain the time."""

@@ -16,7 +16,7 @@ import numpy as np
 from repro.metrics.stats import LatencySummary, RunningStat, summarize
 
 
-@dataclass
+@dataclass(slots=True)
 class TimelinePoint:
     """One message start: when, which operator, at what stream progress."""
 
@@ -156,14 +156,50 @@ class JobMetrics:
 
 
 class MetricsHub:
-    """All metrics for one engine run."""
+    """All metrics for one engine run.
+
+    The schedule timeline is buffered in parallel flat arrays (one append
+    per recorded message start, no per-point object); :attr:`timeline`
+    materializes :class:`TimelinePoint` objects on demand for analysis and
+    plotting."""
 
     def __init__(self):
         self._jobs: dict[str, JobMetrics] = {}
-        self.timeline: list[TimelinePoint] = []
+        self._timeline_times: list[float] = []
+        self._timeline_jobs: list[str] = []
+        self._timeline_stages: list[str] = []
+        self._timeline_indices: list[int] = []
+        self._timeline_progress: list[float] = []
+        #: (time, job, stage, operator_index, msg_id) per completed message,
+        #: recorded only when ``record_completion_timeline`` is enabled
+        self.completion_log: list[tuple] = []
         self.worker_busy: dict[tuple[int, int], float] = {}
         self.total_messages = 0
         self.total_acks = 0
+
+    def record_timeline_point(
+        self, time: float, job: str, stage: str, operator_index: int, progress: float
+    ) -> None:
+        """Buffer one message start (hot path: five list appends)."""
+        self._timeline_times.append(time)
+        self._timeline_jobs.append(job)
+        self._timeline_stages.append(stage)
+        self._timeline_indices.append(operator_index)
+        self._timeline_progress.append(progress)
+
+    @property
+    def timeline(self) -> list[TimelinePoint]:
+        """Recorded message starts, materialized as timeline points."""
+        return [
+            TimelinePoint(time, job, stage, index, progress)
+            for time, job, stage, index, progress in zip(
+                self._timeline_times,
+                self._timeline_jobs,
+                self._timeline_stages,
+                self._timeline_indices,
+                self._timeline_progress,
+            )
+        ]
 
     def register_job(self, name: str, group: str, latency_constraint: float) -> JobMetrics:
         if name in self._jobs:

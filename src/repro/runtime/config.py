@@ -44,6 +44,10 @@ class EngineConfig:
         progress_window: observation window of the PROGRESSMAP regression.
         record_schedule_timeline: keep (time, operator, progress) tuples for
             every message start (Fig. 7c); off by default to save memory.
+        record_completion_timeline: keep one (time, job, stage, index,
+            msg_id) tuple per *completed* message — the full per-message
+            completion timeline, used by determinism regression tests; off
+            by default to save memory.
         switch_cost: worker-side cost (seconds) of switching to a different
             operator activation — models the cache/context-switch penalty
             that makes very fine scheduling quanta expensive (Fig. 14).
@@ -72,6 +76,7 @@ class EngineConfig:
     placement: str = "round_robin"
     progress_window: int = 64
     record_schedule_timeline: bool = False
+    record_completion_timeline: bool = False
     switch_cost: float = 0.0
     starvation_aging: float = 0.0
     source_mailbox_capacity: Optional[int] = None

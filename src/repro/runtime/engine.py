@@ -18,7 +18,7 @@ The engine owns everything the paper's runtime does:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Optional
 
 import numpy as np
@@ -40,7 +40,8 @@ from repro.dataflow.operators import (
     SourceOperator,
     WindowedJoinOperator,
 )
-from repro.metrics.collectors import MetricsHub, TimelinePoint
+from repro.metrics.collectors import MetricsHub
+from repro.metrics.stats import RunningStat
 from repro.runtime.baselines import FifoRunQueue, OrleansRunQueue
 from repro.runtime.config import EngineConfig
 from repro.runtime.placement import Placement
@@ -52,15 +53,25 @@ from repro.sim.rng import RngRegistry
 
 @dataclass
 class Route:
-    """Out-edge of an operator: where its emissions go."""
+    """Out-edge of an operator: where its emissions go.
+
+    ``links`` pairs each target with its pre-resolved delivery channel and
+    input-channel index — filled once at wiring time so the per-send hot
+    path does no dict lookups."""
 
     dst_stage: StageSpec
     targets: list["OperatorRuntime"]
     key_partitioned: bool
+    links: list[tuple] = field(default_factory=list)
 
 
 class OperatorRuntime:
-    """An operator bound to a node, a mailbox and a context converter."""
+    """An operator bound to a node, a mailbox and a context converter.
+
+    Besides the wiring, this caches everything the per-message hot path
+    would otherwise have to look up or re-derive: the job's metrics
+    object, source/sink type flags, the stage name and cost model, and the
+    per-sender reply route."""
 
     __slots__ = (
         "operator",
@@ -72,8 +83,18 @@ class OperatorRuntime:
         "routes",
         "busy",
         "queue_token",
+        "queued_key",
+        "queued_seq",
         "in_queue",
         "blocked",
+        "job_metrics",
+        "is_source",
+        "is_sink",
+        "stage_name",
+        "cost_model",
+        "reply_cache",
+        "queue_stat",
+        "exec_stat",
         "_channel_index",
         "_channel_senders",
     )
@@ -96,9 +117,23 @@ class OperatorRuntime:
         self.routes: list[Route] = []
         self.busy = False
         self.queue_token = -1
+        self.queued_key = 0.0
+        self.queued_seq = 0
         self.in_queue = False
         #: client messages held back by ingestion back-pressure (FIFO)
         self.blocked: deque = deque()
+        self.job_metrics = None  # bound by the engine once jobs register
+        self.is_source = isinstance(operator, SourceOperator)
+        self.is_sink = isinstance(operator, SinkOperator)
+        self.stage_name = stage.name
+        self.cost_model = stage.cost
+        #: sender -> (converter, reply destination node, static transit or
+        #: None when delays are jittered) for replies
+        self.reply_cache: dict = {}
+        #: per-stage queueing/execution stats, bound on first use (shared
+        #: across parallel indices of the stage via the job metrics dicts)
+        self.queue_stat = None
+        self.exec_stat = None
         self._channel_index: dict[Any, int] = {}
         self._channel_senders: list[Any] = []
 
@@ -161,6 +196,13 @@ class StreamEngine:
         self.policy = policy or make_policy(config.policy, **config.policy_kwargs)
         self._contexts = config.contexts_enabled
         self._cost_rng = self.rng.stream("exec-cost")
+        # hot-path caches of per-run-constant config values
+        self._quantum = config.quantum
+        self._switch_cost = config.switch_cost
+        self._capacity = config.source_mailbox_capacity
+        self._record_timeline = config.record_schedule_timeline
+        self._record_completions = config.record_completion_timeline
+        self._ingest_cache: dict = {}
         if config.network_jitter_sigma > 0:
             self._delay_model = JitteredDelay(
                 self.rng.stream("network"),
@@ -168,10 +210,14 @@ class StreamEngine:
                 remote=config.remote_delay,
                 sigma=config.network_jitter_sigma,
             )
+            # jittered transit draws from an RNG stream per call: delays
+            # must be sampled at send time, never precomputed
+            self._static_delay = False
         else:
             self._delay_model = ConstantDelay(
                 local=config.local_delay, remote=config.remote_delay
             )
+            self._static_delay = True
         self.nodes: list[Node] = [
             Node(node_id=i, run_queue=self._make_run_queue())
             for i in range(config.nodes)
@@ -188,6 +234,8 @@ class StreamEngine:
         self._finalize_wiring()
         for job in jobs:
             self.metrics.register_job(job.name, job.group, job.latency_constraint)
+        for op_rt in self._ops.values():
+            op_rt.job_metrics = self.metrics.job(op_rt.job.name)
 
     # ------------------------------------------------------------------
     # construction
@@ -282,6 +330,20 @@ class StreamEngine:
                 op_rt.operator.set_channel_sides(sides)
             if op_rt.converter is not None:
                 self._seed_converter(op_rt.converter, op_rt.job, op_rt.stage.name)
+            # pre-resolve per-target delivery channels, channel indices and
+            # (for constant delay models) the fixed transit delay
+            for route in op_rt.routes:
+                route.links = [
+                    (
+                        dst_rt,
+                        self.channels.channel(op_rt.address, dst_rt.address),
+                        dst_rt.channel_index_of(op_rt.address),
+                        self._delay_model.delay(op_rt.node_id, dst_rt.node_id)
+                        if self._static_delay
+                        else None,
+                    )
+                    for dst_rt in route.targets
+                ]
         for key, converter in self._client_converters.items():
             _, job_name, stage_name, _ = key
             job = self.jobs[job_name]
@@ -319,28 +381,50 @@ class StreamEngine:
         logical_times,
         values=None,
         keys=None,
+        sorted_times: bool = False,
     ) -> None:
         """Deliver a batch of external events to a source operator.
 
         For event-time jobs the given logical times are kept; for
         ingestion-time jobs the logical time of every event is the arrival
-        instant (§4.3).
+        instant (§4.3).  ``sorted_times`` asserts the given logical times
+        are non-decreasing, enabling endpoint min/max on the hot path.
         """
         now = self.sim.now
-        job = self.jobs[job_name]
+        cached = self._ingest_cache.get((job_name, stage_name, source_index))
+        if cached is None:
+            job = self.jobs[job_name]
+            src_rt = self._ops[OpAddress(job_name, stage_name, source_index)]
+            key = _client_key(job_name, stage_name, source_index)
+            converter = self._client_converters[key] if self._contexts else None
+            channel = self.channels.channel(key, src_rt.address)
+            cached = (
+                job,
+                src_rt,
+                key,
+                converter,
+                channel,
+                src_rt.channel_index_of(key),
+                # clients are remote machines (node id -1 never matches)
+                self._delay_model.delay(-1, src_rt.node_id)
+                if self._static_delay
+                else None,
+            )
+            self._ingest_cache[(job_name, stage_name, source_index)] = cached
+        job, src_rt, key, converter, channel, channel_index, transit = cached
         count = len(logical_times)
         if job.time_domain == "ingestion":
             logical_times = np.full(count, now)
+            sorted_times = True  # constant logical times
         batch = EventBatch(
-            logical_times, values, keys, arrival_time=now, source_id=source_index
+            logical_times, values, keys, arrival_time=now, source_id=source_index,
+            times_sorted=sorted_times,
         )
-        src_rt = self._ops[OpAddress(job_name, stage_name, source_index)]
-        key = _client_key(job_name, stage_name, source_index)
+        progress = batch.max_logical_time
         pc = None
-        if self._contexts:
-            converter = self._client_converters[key]
+        if converter is not None:
             pc = converter.build(
-                p=batch.max_logical_time,
+                p=progress,
                 t=now,
                 now=now,
                 target_stage=stage_name,
@@ -351,18 +435,19 @@ class StreamEngine:
         msg = Message(
             target=src_rt.address,
             batch=batch,
-            p=batch.max_logical_time,
+            p=progress,
             t=now,
             deps_arrival=now,
             sender=key,
             pc=pc,
-            channel_index=src_rt.channel_index_of(key),
+            channel_index=channel_index,
         )
-        self.metrics.job(job_name).tuples_ingested += count
-        # clients are remote machines (node id -1 never matches a node)
-        transit = self._delay_model.delay(-1, src_rt.node_id)
-        arrival = self.channels.channel(key, src_rt.address).deliver_time(now, transit)
-        self.sim.schedule_at(arrival, self._deliver, src_rt, msg, None)
+        src_rt.job_metrics.tuples_ingested += count
+        if transit is None:
+            # clients are remote machines (node id -1 never matches a node)
+            transit = self._delay_model.delay(-1, src_rt.node_id)
+        arrival = channel.deliver_time(now, transit)
+        self.sim.schedule_at_fast(arrival, self._deliver, src_rt, msg, None)
 
     def run(self, until: float) -> None:
         """Run the simulation until the given time, then finalize metrics."""
@@ -414,24 +499,25 @@ class StreamEngine:
     def _deliver(
         self, op_rt: OperatorRuntime, msg: Message, producer: Optional[Worker]
     ) -> None:
-        capacity = self.config.source_mailbox_capacity
-        if (
-            capacity is not None
-            and isinstance(op_rt.operator, SourceOperator)
-            and (op_rt.blocked or len(op_rt.mailbox) >= capacity)
-        ):
-            # ingestion back-pressure: hold the message in arrival order
-            # until the source's mailbox drains below capacity
-            op_rt.blocked.append(msg)
-            self.metrics.job(op_rt.job.name).backpressure_events += 1
-            return
-        msg.enqueue_time = self.sim.now
-        op_rt.mailbox.push(msg)
-        if isinstance(op_rt.operator, SourceOperator):
-            job_metrics = self.metrics.job(op_rt.job.name)
+        if op_rt.is_source:
+            capacity = self._capacity
+            if capacity is not None and (
+                op_rt.blocked or len(op_rt.mailbox) >= capacity
+            ):
+                # ingestion back-pressure: hold the message in arrival order
+                # until the source's mailbox drains below capacity
+                op_rt.blocked.append(msg)
+                op_rt.job_metrics.backpressure_events += 1
+                return
+            msg.enqueue_time = self.sim.now
+            op_rt.mailbox.push(msg)
+            job_metrics = op_rt.job_metrics
             size = len(op_rt.mailbox)
             if size > job_metrics.max_source_mailbox:
                 job_metrics.max_source_mailbox = size
+        else:
+            msg.enqueue_time = self.sim.now
+            op_rt.mailbox.push(msg)
         node = self.nodes[op_rt.node_id]
         hint = None
         if producer is not None and producer.node_id == op_rt.node_id:
@@ -443,7 +529,7 @@ class StreamEngine:
         worker = node.idle_worker()
         if worker is not None:
             worker.wake_scheduled = True
-            self.sim.schedule(0.0, self._worker_wake, worker)
+            self.sim.schedule_fast(0.0, self._worker_wake, worker)
 
     def _worker_wake(self, worker: Worker) -> None:
         worker.wake_scheduled = False
@@ -452,97 +538,167 @@ class StreamEngine:
             self._worker_next(worker)
 
     def _worker_next(self, worker: Worker) -> None:
-        if worker.retired:
-            worker.idle = True
-            worker.current_op = None
-            return
-        node = self.nodes[worker.node_id]
-        op_rt = node.run_queue.pop(worker.local_id)
-        if op_rt is None:
-            worker.idle = True
-            worker.current_op = None
-            return
-        op_rt.busy = True
-        worker.current_op = op_rt
-        worker.quantum_start = self.sim.now
-        switch_cost = self.config.switch_cost
-        if switch_cost > 0 and worker.last_op is not op_rt:
-            # activation switch penalty (cache refill / scheduling work)
-            worker.switches += 1
-            worker.busy_time += switch_cost
+        sim = self.sim
+        run_queue = self.nodes[worker.node_id].run_queue
+        switch_cost = self._switch_cost
+        while True:
+            if worker.retired:
+                worker.idle = True
+                worker.current_op = None
+                return
+            op_rt = run_queue.pop(worker.local_id)
+            if op_rt is None:
+                worker.idle = True
+                worker.current_op = None
+                return
+            op_rt.busy = True
+            worker.current_op = op_rt
+            worker.quantum_start = sim.now
+            if switch_cost > 0 and worker.last_op is not op_rt:
+                # activation switch penalty (cache refill / scheduling work)
+                worker.switches += 1
+                worker.busy_time += switch_cost
+                worker.last_op = op_rt
+                sim.schedule_fast(switch_cost, self._start_message, worker, op_rt)
+                return
             worker.last_op = op_rt
-            self.sim.schedule(switch_cost, self._start_message, worker, op_rt)
-            return
-        worker.last_op = op_rt
-        self._start_message(worker, op_rt)
+            if not self._run_op(worker, op_rt):
+                return
+            # the operator was released inline (mailbox drained or requeued
+            # at the quantum boundary): pop the next one without an event
 
     def _start_message(self, worker: Worker, op_rt: OperatorRuntime) -> None:
-        now = self.sim.now
-        msg = op_rt.mailbox.pop()
-        if op_rt.blocked:
-            capacity = self.config.source_mailbox_capacity
-            if capacity is not None and len(op_rt.mailbox) < capacity:
-                released = op_rt.blocked.popleft()
-                released.enqueue_time = now
-                op_rt.mailbox.push(released)
-        job_metrics = self.metrics.job(op_rt.job.name)
-        if msg.enqueue_time == msg.enqueue_time:  # not NaN
-            job_metrics.record_queueing(op_rt.stage.name, now - msg.enqueue_time)
-        if msg.pc is not None and now > msg.pc.deadline:
-            job_metrics.start_violations += 1
-        if self.config.record_schedule_timeline:
-            self.metrics.timeline.append(
-                TimelinePoint(
-                    time=now,
-                    job=op_rt.job.name,
-                    stage=op_rt.stage.name,
-                    operator_index=op_rt.address.index,
-                    progress=msg.p,
+        """Entry point after a switch-cost delay: run the popped operator."""
+        if self._run_op(worker, op_rt):
+            self._worker_next(worker)
+
+    def _run_op(self, worker: Worker, op_rt: OperatorRuntime) -> bool:
+        """Run consecutive messages of ``op_rt`` on ``worker``.
+
+        Quantum-batched execution: while the kernel can prove that no other
+        pending event fires before a message's completion instant
+        (:meth:`~repro.sim.kernel.Simulator.try_advance`), time is advanced
+        inline and the completion handler runs without a heap round-trip —
+        one kernel event per quantum instead of one per message.  Whenever
+        the proof fails, the completion is scheduled exactly as before, so
+        the observable event order is identical either way.
+
+        Returns True when the worker released the operator (mailbox drained
+        or requeued at the quantum boundary) and should pop its next one;
+        False when a completion event was scheduled and control must return
+        to the kernel.
+        """
+        sim = self.sim
+        mailbox = op_rt.mailbox
+        job_metrics = op_rt.job_metrics
+        stage_name = op_rt.stage_name
+        cost_model = op_rt.cost_model
+        cost_rng = self._cost_rng
+        quantum = self._quantum
+        while True:
+            now = sim.now
+            msg = mailbox.pop()
+            if op_rt.blocked:
+                capacity = self._capacity
+                if capacity is not None and len(mailbox) < capacity:
+                    released = op_rt.blocked.popleft()
+                    released.enqueue_time = now
+                    mailbox.push(released)
+            enqueue_time = msg.enqueue_time
+            if enqueue_time == enqueue_time:  # not NaN
+                queue_stat = op_rt.queue_stat
+                if queue_stat is None:
+                    queue_stat = job_metrics.queueing.get(stage_name)
+                    if queue_stat is None:
+                        queue_stat = RunningStat()
+                        job_metrics.queueing[stage_name] = queue_stat
+                    op_rt.queue_stat = queue_stat
+                queue_stat.add(now - enqueue_time)
+            pc = msg.pc
+            if pc is not None and now > pc.deadline:
+                job_metrics.start_violations += 1
+            if self._record_timeline:
+                self.metrics.record_timeline_point(
+                    now, op_rt.job.name, stage_name, op_rt.address.index, msg.p
                 )
-            )
-        cost = op_rt.stage.cost.sample(msg.tuple_count, self._cost_rng)
-        job_metrics.record_execution(op_rt.stage.name, cost)
-        self.sim.schedule(cost, self._complete_message, worker, op_rt, msg, cost)
+            cost = cost_model.sample(msg.tuple_count, cost_rng)
+            exec_stat = op_rt.exec_stat
+            if exec_stat is None:
+                exec_stat = job_metrics.execution.get(stage_name)
+                if exec_stat is None:
+                    exec_stat = RunningStat()
+                    job_metrics.execution[stage_name] = exec_stat
+                op_rt.exec_stat = exec_stat
+            exec_stat.add(cost)
+            if not sim.try_advance(now + cost):
+                sim.schedule_fast(
+                    cost, self._complete_message, worker, op_rt, msg, cost
+                )
+                return False
+            # the kernel advanced to ``now + cost``: complete inline
+            self._finish_message(worker, op_rt, msg, cost)
+            if len(mailbox) == 0:
+                op_rt.busy = False
+                return True
+            now = sim.now
+            if now - worker.quantum_start >= quantum:
+                run_queue = self.nodes[worker.node_id].run_queue
+                if run_queue.should_swap(op_rt):
+                    op_rt.busy = False
+                    run_queue.requeue(op_rt, worker.local_id)
+                    return True
+                worker.quantum_start = now  # fresh quantum, same operator
 
     def _complete_message(
         self, worker: Worker, op_rt: OperatorRuntime, msg: Message, cost: float
     ) -> None:
-        now = self.sim.now
-        worker.busy_time += cost
-        worker.messages_executed += 1
-        job_metrics = self.metrics.job(op_rt.job.name)
-        job_metrics.messages_processed += 1
-        self.metrics.total_messages += 1
-        emissions = op_rt.operator.on_message(msg, now)
-        if isinstance(op_rt.operator, SinkOperator) and msg.batch is not None and len(msg.batch) > 0:
-            job_metrics.record_output(
-                now, now - msg.t, msg.tuple_count, float(msg.batch.values.sum())
-            )
-        elif isinstance(op_rt.operator, SourceOperator):
-            job_metrics.tuples_processed += msg.tuple_count
-            job_metrics.source_events.append((now, msg.tuple_count))
-        if self._contexts:
-            self.profiler.record(op_rt.address, cost)
-            self._send_reply(op_rt, msg)
-        if emissions:
-            self._route_emissions(op_rt, msg, emissions, worker)
-        self._continue_worker(worker, op_rt)
-
-    def _continue_worker(self, worker: Worker, op_rt: OperatorRuntime) -> None:
-        now = self.sim.now
-        node = self.nodes[worker.node_id]
+        """Kernel-event completion path (when inline advance was refused)."""
+        self._finish_message(worker, op_rt, msg, cost)
         if len(op_rt.mailbox) == 0:
             op_rt.busy = False
             self._worker_next(worker)
             return
-        if now - worker.quantum_start >= self.config.quantum:
-            if node.run_queue.should_swap(op_rt):
+        now = self.sim.now
+        if now - worker.quantum_start >= self._quantum:
+            run_queue = self.nodes[worker.node_id].run_queue
+            if run_queue.should_swap(op_rt):
                 op_rt.busy = False
-                node.run_queue.requeue(op_rt, worker.local_id)
+                run_queue.requeue(op_rt, worker.local_id)
                 self._worker_next(worker)
                 return
-            worker.quantum_start = now  # start a fresh quantum on the same operator
-        self._start_message(worker, op_rt)
+            worker.quantum_start = now  # fresh quantum, same operator
+        if self._run_op(worker, op_rt):
+            self._worker_next(worker)
+
+    def _finish_message(
+        self, worker: Worker, op_rt: OperatorRuntime, msg: Message, cost: float
+    ) -> None:
+        """Everything that happens at a message's completion instant."""
+        now = self.sim.now
+        worker.busy_time += cost
+        worker.messages_executed += 1
+        job_metrics = op_rt.job_metrics
+        job_metrics.messages_processed += 1
+        self.metrics.total_messages += 1
+        emissions = op_rt.operator.on_message(msg, now)
+        batch = msg.batch
+        if op_rt.is_sink and batch is not None and len(batch) > 0:
+            job_metrics.record_output(
+                now, now - msg.t, msg.tuple_count, float(batch.values.sum())
+            )
+        elif op_rt.is_source:
+            count = msg.tuple_count
+            job_metrics.tuples_processed += count
+            job_metrics.source_events.append((now, count))
+        if self._contexts:
+            self.profiler.record(op_rt.address, cost)
+            self._send_reply(op_rt, msg)
+        if self._record_completions:
+            self.metrics.completion_log.append(
+                (now, op_rt.job.name, op_rt.stage_name, op_rt.address.index, msg.msg_id)
+            )
+        if emissions:
+            self._route_emissions(op_rt, msg, emissions, worker)
 
     # ------------------------------------------------------------------
     # emission routing and reply contexts
@@ -556,39 +712,56 @@ class StreamEngine:
         worker: Worker,
     ) -> None:
         for route in src_rt.routes:
-            for emission in emissions:
-                if route.key_partitioned and len(route.targets) > 1:
-                    parallelism = len(route.targets)
-                    partition = emission.batch.keys % parallelism
-                    for j, dst_rt in enumerate(route.targets):
-                        sub = emission.batch.select(partition == j)
-                        self._send(src_rt, dst_rt, sub, emission, trigger, worker)
-                else:
-                    for dst_rt in route.targets:
+            links = route.links
+            if route.key_partitioned and len(links) > 1:
+                parallelism = len(links)
+                if parallelism == 2:
+                    for emission in emissions:
+                        batch = emission.batch
+                        mask = batch.keys % 2 == 0
                         self._send(
-                            src_rt, dst_rt, emission.batch, emission, trigger, worker
+                            src_rt, links[0], batch.select(mask),
+                            emission, trigger, worker,
+                        )
+                        self._send(
+                            src_rt, links[1], batch.select(~mask),
+                            emission, trigger, worker,
+                        )
+                    continue
+                for emission in emissions:
+                    partition = emission.batch.keys % parallelism
+                    for j, link in enumerate(links):
+                        sub = emission.batch.select(partition == j)
+                        self._send(src_rt, link, sub, emission, trigger, worker)
+            else:
+                for emission in emissions:
+                    for link in links:
+                        self._send(
+                            src_rt, link, emission.batch, emission, trigger, worker
                         )
 
     def _send(
         self,
         src_rt: OperatorRuntime,
-        dst_rt: OperatorRuntime,
+        link: tuple,
         batch: EventBatch,
         emission: Emission,
         trigger: Message,
         worker: Worker,
     ) -> None:
+        dst_rt, channel, channel_index, transit = link
         if len(batch) == 0 and not dst_rt.stage.is_windowed:
             # only windowed operators consume progress heartbeats
             return
         now = self.sim.now
         pc: Optional[PriorityContext] = None
-        if self._contexts and src_rt.converter is not None:
-            pc = src_rt.converter.build(
+        converter = src_rt.converter
+        if self._contexts and converter is not None:
+            pc = converter.build(
                 p=emission.progress,
                 t=emission.arrival,
                 now=now,
-                target_stage=dst_rt.stage.name,
+                target_stage=dst_rt.stage_name,
                 target_window=dst_rt.stage.window,
                 tuple_count=len(batch),
                 inherited=trigger.pc,
@@ -602,13 +775,12 @@ class StreamEngine:
             deps_arrival=emission.arrival,
             sender=src_rt.address,
             pc=pc,
-            channel_index=dst_rt.channel_index_of(src_rt.address),
+            channel_index=channel_index,
         )
-        transit = self._delay_model.delay(src_rt.node_id, dst_rt.node_id)
-        arrival = self.channels.channel(src_rt.address, dst_rt.address).deliver_time(
-            now, transit
-        )
-        self.sim.schedule_at(arrival, self._deliver, dst_rt, out, worker)
+        if transit is None:
+            transit = self._delay_model.delay(src_rt.node_id, dst_rt.node_id)
+        arrival = channel.deliver_time(now, transit)
+        self.sim.schedule_at_fast(arrival, self._deliver, dst_rt, out, worker)
 
     def _send_reply(self, op_rt: OperatorRuntime, msg: Message) -> None:
         """PREPAREREPLY at ``op_rt`` → PROCESSCTXFROMREPLY at the sender.
@@ -622,18 +794,31 @@ class StreamEngine:
             return
         rc = op_rt.converter.prepare_reply(self.profiler.estimate(op_rt.address))
         rc.mailbox_size = len(op_rt.mailbox)
-        if msg.enqueue_time == msg.enqueue_time:  # not NaN
-            rc.queueing_delay = max(0.0, self.sim.now - msg.enqueue_time)
+        enqueue_time = msg.enqueue_time
+        if enqueue_time == enqueue_time:  # not NaN
+            rc.queueing_delay = max(0.0, self.sim.now - enqueue_time)
         self.metrics.total_acks += 1
         sender = msg.sender
-        stage_name = op_rt.stage.name
-        if isinstance(sender, tuple) and sender and sender[0] == "client":
-            converter = self._client_converters.get(sender)
-            delay = self._delay_model.delay(op_rt.node_id, -1)
-        else:
-            sender_rt = self._ops[sender]
-            converter = sender_rt.converter
-            delay = self._delay_model.delay(op_rt.node_id, sender_rt.node_id)
+        route = op_rt.reply_cache.get(sender)
+        if route is None:
+            if isinstance(sender, tuple) and sender and sender[0] == "client":
+                # clients are remote machines (node id -1 never matches)
+                converter, dst_node = self._client_converters.get(sender), -1
+            else:
+                sender_rt = self._ops[sender]
+                converter, dst_node = sender_rt.converter, sender_rt.node_id
+            transit = (
+                self._delay_model.delay(op_rt.node_id, dst_node)
+                if self._static_delay
+                else None
+            )
+            route = (converter, dst_node, transit)
+            op_rt.reply_cache[sender] = route
+        converter, dst_node, delay = route
+        if delay is None:
+            # jittered transit: drawn per reply, and always drawn before the
+            # converter check so the RNG stream is independent of wiring
+            delay = self._delay_model.delay(op_rt.node_id, dst_node)
         if converter is None:
             return
-        self.sim.schedule(delay, converter.process_reply, stage_name, rc)
+        self.sim.schedule_fast(delay, converter.process_reply, op_rt.stage_name, rc)

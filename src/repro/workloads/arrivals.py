@@ -127,6 +127,12 @@ class ParetoBatchSize(BatchSizer):
         return int(max(1, min(self.cap, raw)))
 
 
+#: per-batch-size cache of the (1/n, 2/n, ..., 1) spacing vector used to
+#: spread a batch's logical times over its arrival interval; the arrays are
+#: shared read-only across drivers
+_FRACTION_CACHE: dict[int, np.ndarray] = {}
+
+
 class SourceDriver:
     """Feeds one source operator with generated batches.
 
@@ -179,7 +185,7 @@ class SourceDriver:
         """Schedule the first arrival; returns self for chaining."""
         first = self.start_time + self.arrivals.next_interval(self._rng, self.start_time)
         if first <= self.until:
-            self.engine.sim.schedule_at(first, self._fire)
+            self.engine.sim.schedule_at_fast(first, self._fire)
         return self
 
     def _fire(self) -> None:
@@ -193,9 +199,12 @@ class SourceDriver:
         # whose end it crosses
         upper = now - self.job.ingestion_delay + self.phase
         lower = min(self._last_logical, upper)
-        logical_times = lower + (upper - lower) * (
-            np.arange(1, count + 1, dtype=np.float64) / count
-        )
+        fractions = _FRACTION_CACHE.get(count)
+        if fractions is None:
+            fractions = np.arange(1, count + 1, dtype=np.float64) / count
+            _FRACTION_CACHE[count] = fractions
+        logical_times = fractions * (upper - lower)
+        logical_times += lower
         self._last_logical = upper
         keys = self._rng.integers(0, self.key_count, size=count)
         self.engine.ingest(
@@ -205,12 +214,15 @@ class SourceDriver:
             logical_times,
             values=None,
             keys=keys,
+            # non-negative span times an increasing spacing vector: the
+            # logical times are non-decreasing by construction
+            sorted_times=True,
         )
         self.messages_sent += 1
         self.tuples_sent += count
         gap = self.arrivals.next_interval(self._rng, now)
         if now + gap <= self.until:
-            self.engine.sim.schedule(gap, self._fire)
+            self.engine.sim.schedule_fast(gap, self._fire)
 
 
 def drive_all_sources(

@@ -229,3 +229,69 @@ class TestHeadMessage:
 
         with _pytest.raises(IndexError):
             PriorityMailbox().head_message()
+
+
+class TestNotifyFastPaths:
+    """The notify skip and bulk-compaction fast paths (hot-path overhaul)."""
+
+    def test_unchanged_head_key_skips_repush(self):
+        queue = CameoRunQueue()
+        op = FakeOp(queue.create_mailbox())
+        op.mailbox.push(priced_message(1.0, 5.0))
+        queue.notify(op, now=0.0)
+        pushes = queue.pushes
+        # fan-in: more messages behind the same head -> key unchanged
+        for _ in range(10):
+            op.mailbox.push(priced_message(2.0, 9.0))
+            queue.notify(op, now=0.0)
+        assert queue.pushes == pushes
+        assert queue.notify_skips == 10
+        assert queue.pop(0) is op
+        assert queue.pop(0) is None
+
+    def test_changed_head_key_supersedes_old_entry(self):
+        queue = CameoRunQueue()
+        urgent = FakeOp(queue.create_mailbox())
+        lax = FakeOp(queue.create_mailbox())
+        lax.mailbox.push(priced_message(1.0, 5.0))
+        queue.notify(lax, now=0.0)
+        urgent.mailbox.push(priced_message(1.0, 7.0))
+        queue.notify(urgent, now=0.0)
+        # a more urgent head arrives for `urgent`: must jump ahead of `lax`
+        urgent.mailbox.push(priced_message(0.0, 1.0))
+        queue.notify(urgent, now=0.0)
+        assert queue.pop(0) is urgent
+        assert queue.pop(0) is lax
+        assert queue.pop(0) is None  # superseded entry dropped lazily
+
+    def test_skip_never_stalls_after_external_drain(self):
+        # an operator whose mailbox was drained without a pop (defensive
+        # token reset in _clean_top) must still be poppable after re-notify
+        queue = CameoRunQueue()
+        op = FakeOp(queue.create_mailbox())
+        op.mailbox.push(priced_message(1.0, 5.0))
+        queue.notify(op, now=0.0)
+        op.mailbox.pop()  # drained out-of-band
+        assert queue.pop(0) is None  # entry invalidated, token reset
+        op.mailbox.push(priced_message(1.0, 5.0))
+        queue.notify(op, now=0.0)
+        assert queue.pop(0) is op
+
+    def test_bulk_compaction_drops_superseded_entries(self):
+        queue = CameoRunQueue()
+        ops = [FakeOp(queue.create_mailbox()) for _ in range(4)]
+        # repeatedly improve each op's head priority so every notify
+        # supersedes the previous entry
+        priority = 1000.0
+        for round_ in range(40):
+            for op in ops:
+                priority -= 1.0
+                # lower local priority too, so the new message becomes the
+                # mailbox head and the queued key actually changes
+                op.mailbox.push(priced_message(priority, priority))
+                queue.notify(op, now=0.0)
+        assert queue.compactions > 0
+        # live entries survive compaction in priority order
+        popped = [queue.pop(0) for _ in range(4)]
+        assert set(popped) == set(ops)
+        assert queue.pop(0) is None

@@ -169,3 +169,151 @@ def test_handle_reports_time():
     sim = Simulator()
     handle = sim.schedule(4.5, lambda: None)
     assert handle.time == 4.5
+
+
+# ----------------------------------------------------------------------
+# fast-path (no-handle) scheduling
+# ----------------------------------------------------------------------
+
+
+def test_schedule_fast_fires_in_order_with_normal_events():
+    sim = Simulator()
+    order = []
+    sim.schedule(2.0, order.append, "slow")
+    sim.schedule_fast(1.0, order.append, "fast")
+    sim.schedule_at_fast(3.0, order.append, "fast-at")
+    sim.run()
+    assert order == ["fast", "slow", "fast-at"]
+    assert sim.now == 3.0
+
+
+def test_schedule_fast_tie_breaks_by_insertion_order():
+    sim = Simulator()
+    order = []
+    sim.schedule_fast(1.0, order.append, 0)
+    sim.schedule(1.0, order.append, 1)
+    sim.schedule_fast(1.0, order.append, 2)
+    sim.run()
+    assert order == [0, 1, 2]
+
+
+def test_schedule_fast_rejects_past_and_nan():
+    sim = Simulator()
+    sim.schedule_fast(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at_fast(0.5, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_fast(-1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_at_fast(float("nan"), lambda: None)
+
+
+# ----------------------------------------------------------------------
+# cancelled-entry compaction
+# ----------------------------------------------------------------------
+
+
+def test_mass_cancellation_compacts_heap():
+    """Regression: cancelled events must not linger until they reach the
+    heap top — bulk cancellation triggers compaction and frees the memory."""
+    sim = Simulator()
+    keeper_count = 100
+    for i in range(keeper_count):
+        sim.schedule(1.0 + i, lambda: None)
+    handles = [sim.schedule(1000.0 + i, lambda: None) for i in range(10_000)]
+    assert sim.pending_count == keeper_count + 10_000
+    for handle in handles:
+        handle.cancel()
+    # threshold-triggered compaction dropped the cancelled bulk
+    assert sim.pending_count < keeper_count + 10_000
+    assert sim.pending_count <= 2 * keeper_count
+    fired = sim.run()
+    assert fired == keeper_count
+
+
+def test_compaction_preserves_order():
+    sim = Simulator()
+    order = []
+    handles = []
+    for i in range(300):
+        if i % 3 == 0:
+            sim.schedule(float(i), order.append, i)
+        else:
+            handles.append(sim.schedule(float(i), lambda: None))
+    for handle in handles:
+        handle.cancel()
+    sim.run()
+    assert order == [i for i in range(300) if i % 3 == 0]
+
+
+def test_double_cancel_counts_once():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert sim._cancelled == 1
+
+
+# ----------------------------------------------------------------------
+# try_advance (engine inline-batching hook)
+# ----------------------------------------------------------------------
+
+
+def test_try_advance_outside_run_refuses():
+    sim = Simulator()
+    assert sim.try_advance(1.0) is False
+
+
+def test_try_advance_within_run():
+    sim = Simulator()
+    observed = []
+
+    def probe():
+        # next event is at t=5: advancing to 4 is safe, to 5 or 6 is not
+        observed.append(sim.try_advance(6.0))
+        observed.append(sim.try_advance(5.0))
+        observed.append(sim.try_advance(4.0))
+        observed.append(sim.now)
+
+    sim.schedule(1.0, probe)
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    assert observed == [False, False, True, 4.0]
+
+
+def test_try_advance_respects_until_horizon():
+    sim = Simulator()
+    observed = []
+
+    def probe():
+        observed.append(sim.try_advance(11.0))  # beyond the run horizon
+        observed.append(sim.try_advance(9.0))
+
+    sim.schedule(1.0, probe)
+    sim.run(until=10.0)
+    assert observed == [False, True]
+    assert sim.now == 10.0
+
+
+def test_try_advance_disabled_under_max_events():
+    sim = Simulator()
+    observed = []
+    sim.schedule(1.0, lambda: observed.append(sim.try_advance(2.0)))
+    sim.run(max_events=5)
+    assert observed == [False]
+
+
+def test_try_advance_skips_cancelled_top():
+    sim = Simulator()
+    observed = []
+
+    def probe():
+        observed.append(sim.try_advance(4.0))
+
+    sim.schedule(1.0, probe)
+    handle = sim.schedule(2.0, lambda: None)
+    sim.schedule(5.0, lambda: None)
+    handle.cancel()
+    sim.run()
+    assert observed == [True]

@@ -119,9 +119,11 @@ class TestSourceDriver:
         seen = []
         original = engine.ingest
 
-        def spy(job_name, stage, index, logical_times, values=None, keys=None):
+        def spy(job_name, stage, index, logical_times, values=None, keys=None,
+                **kwargs):
             seen.append(np.asarray(logical_times))
-            return original(job_name, stage, index, logical_times, values, keys)
+            return original(job_name, stage, index, logical_times, values, keys,
+                            **kwargs)
 
         engine.ingest = spy
         SourceDriver(engine, job, PeriodicArrivals(1.0),
