@@ -11,8 +11,6 @@ weather the spikes.
 Run:  python examples/trace_replay.py
 """
 
-import numpy as np
-
 from repro import EngineConfig, StreamEngine
 from repro.metrics import format_table
 from repro.sim.rng import RngRegistry

@@ -7,15 +7,19 @@ Usage::
     python -m repro.cli fig08a --out results/
     python -m repro.cli all
     python -m repro.cli bench --label pr2 --compare BENCH_seed.json
+    python -m repro.cli topology --ls 2 --ba 1 --nodes 2
 
 Each figure runs with its benchmark defaults and prints the same table the
 corresponding ``benchmarks/test_figNN_*.py`` archives.  ``bench`` runs the
 hot-path benchmark-regression harness (see :mod:`repro.bench`).
+``topology`` builds an engine for a tenant mix and dumps the wiring plan
+(operators, placements, channels, reply routes) as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 import time
@@ -43,7 +47,56 @@ RUNNERS = {
     "ext_starvation": experiments.run_ext_starvation,
     "ext_backpressure": experiments.run_ext_backpressure,
     "ext_elasticity": experiments.run_ext_elasticity,
+    "ext_migration": experiments.run_ext_migration,
 }
+
+
+def topology_main(argv: list[str]) -> int:
+    """Build an engine for a tenant mix and dump its wiring plan as JSON."""
+    from repro.runtime.config import EngineConfig
+    from repro.runtime.engine import StreamEngine
+    from repro.runtime.placement import PLACEMENTS
+    from repro.workloads.tenants import (
+        make_bulk_analytics_job,
+        make_latency_sensitive_job,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli topology",
+        description="Dump the wiring plan (operators, placements, channels, "
+                    "reply routes) the TopologyBuilder produces for a mix.",
+    )
+    parser.add_argument("--ls", type=int, default=2,
+                        help="latency-sensitive job count (default 2)")
+    parser.add_argument("--ba", type=int, default=1,
+                        help="bulk-analytics job count (default 1)")
+    parser.add_argument("--nodes", type=int, default=2)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="workers per node (default 2)")
+    parser.add_argument("--scheduler", default="cameo",
+                        choices=["cameo", "fifo", "orleans"])
+    parser.add_argument("--placement", default="round_robin",
+                        choices=list(PLACEMENTS))
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="also write the JSON dump to FILE")
+    args = parser.parse_args(argv)
+
+    jobs = [make_latency_sensitive_job(f"ls{i}") for i in range(args.ls)]
+    jobs += [make_bulk_analytics_job(f"ba{i}") for i in range(args.ba)]
+    if not jobs:
+        parser.error("need at least one job (--ls/--ba)")
+    engine = StreamEngine(
+        EngineConfig(scheduler=args.scheduler, nodes=args.nodes,
+                     workers_per_node=args.workers,
+                     placement=args.placement, seed=args.seed),
+        jobs,
+    )
+    text = json.dumps(engine.describe_topology(), indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        pathlib.Path(args.out).write_text(text + "\n")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -53,6 +106,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "topology":
+        return topology_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.cli",
         description="Regenerate figures from the Cameo (NSDI 2021) reproduction.",

@@ -131,6 +131,13 @@ class RunQueue:
         """After the quantum: should the worker switch away from ``op``?"""
         raise NotImplementedError
 
+    def discard(self, op: Any) -> None:
+        """Forget a queued operator (lifecycle migration): after this call
+        the queue must never hand ``op`` to a worker, however many entries
+        it held.  Discarding an unqueued operator is a no-op.  Migration is
+        rare, so implementations may take O(n)."""
+        raise NotImplementedError
+
     def pending_operator_count(self) -> int:
         raise NotImplementedError
 
@@ -292,6 +299,14 @@ class CameoRunQueue(RunQueue):
         op.queue_token = -1
         self.pops += 1
         return op
+
+    def discard(self, op: Any) -> None:
+        """Lazy removal: invalidating the token turns the live heap entry
+        into an ordinary superseded (stale) one, dropped at the top or by
+        the next bulk compaction."""
+        if op.queue_token != -1:
+            op.queue_token = -1
+            self._stale += 1
 
     def peek_best_priority(self) -> Optional[float]:
         self._clean_top()

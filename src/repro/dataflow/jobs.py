@@ -9,7 +9,7 @@ target ingestion rate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.dataflow.graph import DataflowGraph

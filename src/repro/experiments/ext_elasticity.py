@@ -39,8 +39,12 @@ class ReactiveScaler:
     """Latency-triggered autoscaler (the reactive baseline).
 
     Every ``interval`` seconds it computes the LS group's p95 over the last
-    interval; above ``high_watermark`` it adds a worker (up to ``max_extra``
-    beyond the base pool), below ``low_watermark`` it retires one.
+    interval; above ``high_watermark`` it grows the node's pool by one
+    worker (up to ``max_extra`` beyond the base pool), below
+    ``low_watermark`` it shrinks by one.  Scaling goes through the public
+    :class:`~repro.runtime.lifecycle.OperatorLifecycle` API
+    (``engine.lifecycle.rescale``), the same entry point an operator
+    console would use.
     """
 
     def __init__(
@@ -86,16 +90,16 @@ class ReactiveScaler:
         now = self.engine.sim.now
         if now > self.until:
             return
-        node = self.engine.nodes[self.node_id]
+        active = self.engine.nodes[self.node_id].active_worker_count
         p95 = self._recent_p95()
         if p95 > self.high_watermark:
-            if node.active_worker_count < self.base_workers + self.max_extra:
-                self.engine.add_worker(self.node_id)
+            if active < self.base_workers + self.max_extra:
+                self.engine.lifecycle.rescale(self.node_id, active + 1)
                 self.scale_ups += 1
         elif p95 < self.low_watermark:
-            if node.active_worker_count > self.base_workers:
-                if self.engine.retire_worker(self.node_id) is not None:
-                    self.scale_downs += 1
+            if active > self.base_workers:
+                self.engine.lifecycle.rescale(self.node_id, active - 1)
+                self.scale_downs += 1
         self.engine.sim.schedule(self.interval, self._tick)
 
 

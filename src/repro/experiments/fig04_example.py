@@ -17,7 +17,7 @@ violations; (d) eliminates them while also treating J1 no worse.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, run_tenant_mix
+from repro.experiments.common import ExperimentResult
 from repro.runtime.config import EngineConfig
 from repro.runtime.engine import StreamEngine
 from repro.workloads.arrivals import FixedBatchSize, PeriodicArrivals, drive_all_sources

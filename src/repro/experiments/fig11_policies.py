@@ -12,11 +12,10 @@ the window size.
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult, TenantMix, group_row, run_tenant_mix
-from repro.experiments.fig07_single_tenant import QUERIES, QUERY_RATES, _run_query
+from repro.experiments.fig07_single_tenant import QUERIES
 from repro.runtime.config import EngineConfig
 from repro.runtime.engine import StreamEngine
 from repro.workloads.arrivals import (
-    FixedBatchSize,
     ParetoBatchSize,
     PoissonArrivals,
     drive_all_sources,

@@ -19,7 +19,7 @@ import time
 
 from repro.core.context import PriorityContext
 from repro.core.converter import ContextConverter
-from repro.core.policies import ConstantPolicy, LeastLaxityFirstPolicy
+from repro.core.policies import LeastLaxityFirstPolicy
 from repro.core.progress_map import IdentityProgressMap
 from repro.core.scheduler import CameoRunQueue
 from repro.dataflow.graph import CostModel
@@ -86,7 +86,6 @@ def run_fig12(
     fifo_ns = _drive(fifo, fifo_ops, messages(), lambda i: static_pc)
 
     # (ii) Cameo priority scheduling only (constant priorities, no generation)
-    constant = ConstantPolicy()
     sched_queue = CameoRunQueue()
     sched_ops = [_OpStub(sched_queue.create_mailbox()) for _ in range(operator_count)]
     sched_ns = _drive(sched_queue, sched_ops, messages(), lambda i: static_pc)

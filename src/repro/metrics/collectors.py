@@ -8,8 +8,7 @@ operator schedule timeline (Fig. 7c).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from dataclasses import dataclass
 
 import numpy as np
 

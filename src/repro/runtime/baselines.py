@@ -52,6 +52,14 @@ class FifoRunQueue(RunQueue):
     def should_swap(self, op: Any) -> bool:
         return len(self._queue) > 0
 
+    def discard(self, op: Any) -> None:
+        if op.in_queue:
+            op.in_queue = False
+            try:
+                self._queue.remove(op)
+            except ValueError:  # already skipped by a draining pop
+                pass
+
     def pending_operator_count(self) -> int:
         return len(self._queue)
 
@@ -112,6 +120,18 @@ class OrleansRunQueue(RunQueue):
 
     def should_swap(self, op: Any) -> bool:
         return self.pending_operator_count() > 0
+
+    def discard(self, op: Any) -> None:
+        if not op.in_queue:
+            return
+        op.in_queue = False
+        queues = [self._global] + self._locals
+        for queue in queues:
+            try:
+                queue.remove(op)
+                return
+            except ValueError:
+                continue
 
     def pending_operator_count(self) -> int:
         return len(self._global) + sum(len(q) for q in self._locals)

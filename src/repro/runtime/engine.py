@@ -1,181 +1,53 @@
-"""StreamEngine: executes dataflow jobs on the simulated actor cluster.
+"""StreamEngine: the façade over the layered node runtime.
 
-The engine owns everything the paper's runtime does:
+The engine used to be a monolith; it is now a thin composition root over
+four collaborating layers (see ``docs/architecture.md``):
 
-* builds one :class:`OperatorRuntime` per (job, stage, parallel index) and
-  places them on nodes,
-* wires channels (with per-channel FIFO delivery, §4.3) and input-channel
-  indices, including the ingestion clients in front of source operators,
-* embeds a context converter in every operator (and client) when contexts
-  are enabled (§5.2 / Fig. 5a),
-* drives the worker loop: pop operator by the node scheduler's order, run
-  messages for a quantum, preemption check, requeue (§5.2 / Fig. 5b),
-* routes emissions (key partitioning with progress heartbeats, or fixed
-  round-robin pairing), sends RC-carrying acknowledgements upstream, and
-* records latency/throughput/violation metrics at sinks.
+* :class:`~repro.runtime.topology.TopologyBuilder` — builds operators,
+  places them, wires channels and converters, emits a
+  :class:`~repro.runtime.topology.WiringPlan` (§5.2 / Fig. 5a),
+* :class:`~repro.runtime.node.NodeRuntime` — one per node: worker pool,
+  run queue, and the quantum-based dispatch loop (§5.2 / Fig. 5b),
+* :class:`~repro.runtime.transport.Transport` — message delivery with
+  per-channel FIFO order (§4.3), emission routing, RC acknowledgements,
+* :class:`~repro.runtime.lifecycle.OperatorLifecycle` — dynamic
+  reconfiguration: ``spawn`` / ``retire`` / ``rescale`` worker pools and
+  live ``migrate`` of operators between nodes.
+
+The constructor and :meth:`run` signatures are unchanged from the
+monolithic engine, so experiments, benchmarks and the CLI are oblivious
+to the split.  ``policy`` overrides the policy named in the config with a
+custom :class:`~repro.core.policies.SchedulingPolicy` instance — the hook
+for user-defined priority generation (§5.4).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Optional
 
-import numpy as np
-
-from repro.core.context import PriorityContext
-from repro.core.converter import ContextConverter
 from repro.core.policies import make_policy
 from repro.core.profiler import CostProfiler, GaussianNoiseInjector
-from repro.core.progress_map import make_progress_map
-from repro.core.scheduler import CameoRunQueue, Mailbox, RunQueue
-from repro.dataflow.events import EventBatch
-from repro.dataflow.graph import StageSpec
 from repro.dataflow.jobs import JobSpec
-from repro.dataflow.messages import Message, MessageKind
-from repro.dataflow.operators import (
-    Emission,
-    OpAddress,
-    SinkOperator,
-    SourceOperator,
-    WindowedJoinOperator,
-)
+from repro.dataflow.operators import OpAddress
 from repro.metrics.collectors import MetricsHub
-from repro.metrics.stats import RunningStat
-from repro.runtime.baselines import FifoRunQueue, OrleansRunQueue
 from repro.runtime.config import EngineConfig
-from repro.runtime.placement import Placement
-from repro.runtime.workers import Node, Worker
+from repro.runtime.lifecycle import OperatorLifecycle
+from repro.runtime.node import NodeRuntime, make_run_queue
+from repro.runtime.topology import (  # noqa: F401  (compat re-exports)
+    OperatorRuntime,
+    Route,
+    TopologyBuilder,
+    WiringPlan,
+)
+from repro.runtime.transport import Transport
+from repro.runtime.workers import Worker
 from repro.sim.kernel import Simulator
 from repro.sim.network import ChannelTable, ConstantDelay, JitteredDelay
 from repro.sim.rng import RngRegistry
 
 
-@dataclass
-class Route:
-    """Out-edge of an operator: where its emissions go.
-
-    ``links`` pairs each target with its pre-resolved delivery channel and
-    input-channel index — filled once at wiring time so the per-send hot
-    path does no dict lookups."""
-
-    dst_stage: StageSpec
-    targets: list["OperatorRuntime"]
-    key_partitioned: bool
-    links: list[tuple] = field(default_factory=list)
-
-
-class OperatorRuntime:
-    """An operator bound to a node, a mailbox and a context converter.
-
-    Besides the wiring, this caches everything the per-message hot path
-    would otherwise have to look up or re-derive: the job's metrics
-    object, source/sink type flags, the stage name and cost model, and the
-    per-sender reply route."""
-
-    __slots__ = (
-        "operator",
-        "stage",
-        "job",
-        "node_id",
-        "mailbox",
-        "converter",
-        "routes",
-        "busy",
-        "queue_token",
-        "queued_key",
-        "queued_seq",
-        "in_queue",
-        "blocked",
-        "job_metrics",
-        "is_source",
-        "is_sink",
-        "stage_name",
-        "cost_model",
-        "reply_cache",
-        "queue_stat",
-        "exec_stat",
-        "_channel_index",
-        "_channel_senders",
-    )
-
-    def __init__(
-        self,
-        operator,
-        stage: StageSpec,
-        job: JobSpec,
-        node_id: int,
-        mailbox: Mailbox,
-        converter: Optional[ContextConverter],
-    ):
-        self.operator = operator
-        self.stage = stage
-        self.job = job
-        self.node_id = node_id
-        self.mailbox = mailbox
-        self.converter = converter
-        self.routes: list[Route] = []
-        self.busy = False
-        self.queue_token = -1
-        self.queued_key = 0.0
-        self.queued_seq = 0
-        self.in_queue = False
-        #: client messages held back by ingestion back-pressure (FIFO)
-        self.blocked: deque = deque()
-        self.job_metrics = None  # bound by the engine once jobs register
-        self.is_source = isinstance(operator, SourceOperator)
-        self.is_sink = isinstance(operator, SinkOperator)
-        self.stage_name = stage.name
-        self.cost_model = stage.cost
-        #: sender -> (converter, reply destination node, static transit or
-        #: None when delays are jittered) for replies
-        self.reply_cache: dict = {}
-        #: per-stage queueing/execution stats, bound on first use (shared
-        #: across parallel indices of the stage via the job metrics dicts)
-        self.queue_stat = None
-        self.exec_stat = None
-        self._channel_index: dict[Any, int] = {}
-        self._channel_senders: list[Any] = []
-
-    @property
-    def address(self) -> OpAddress:
-        return self.operator.address
-
-    def register_input(self, sender_key: Any) -> int:
-        """Assign (or fetch) the input channel index for a sender."""
-        index = self._channel_index.get(sender_key)
-        if index is None:
-            index = len(self._channel_senders)
-            self._channel_index[sender_key] = index
-            self._channel_senders.append(sender_key)
-        return index
-
-    def channel_index_of(self, sender_key: Any) -> int:
-        return self._channel_index[sender_key]
-
-    @property
-    def input_channel_count(self) -> int:
-        return len(self._channel_senders)
-
-    @property
-    def channel_senders(self) -> list[Any]:
-        return list(self._channel_senders)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"OperatorRuntime({self.address})"
-
-
-def _client_key(job: str, stage: str, index: int) -> tuple:
-    """Address of the ingestion client feeding a source operator."""
-    return ("client", job, stage, index)
-
-
 class StreamEngine:
-    """Runs a set of jobs on a simulated cluster under one scheduler.
-
-    ``policy`` overrides the policy named in the config with a custom
-    :class:`~repro.core.policies.SchedulingPolicy` instance — the hook for
-    user-defined priority generation (§5.4)."""
+    """Runs a set of jobs on a simulated cluster under one scheduler."""
 
     def __init__(self, config: EngineConfig, jobs: list[JobSpec], policy=None):
         names = [j.name for j in jobs]
@@ -194,15 +66,6 @@ class StreamEngine:
             )
         self.profiler = CostProfiler(alpha=config.profiler_alpha, noise=noise)
         self.policy = policy or make_policy(config.policy, **config.policy_kwargs)
-        self._contexts = config.contexts_enabled
-        self._cost_rng = self.rng.stream("exec-cost")
-        # hot-path caches of per-run-constant config values
-        self._quantum = config.quantum
-        self._switch_cost = config.switch_cost
-        self._capacity = config.source_mailbox_capacity
-        self._record_timeline = config.record_schedule_timeline
-        self._record_completions = config.record_completion_timeline
-        self._ingest_cache: dict = {}
         if config.network_jitter_sigma > 0:
             self._delay_model = JitteredDelay(
                 self.rng.stream("network"),
@@ -212,14 +75,16 @@ class StreamEngine:
             )
             # jittered transit draws from an RNG stream per call: delays
             # must be sampled at send time, never precomputed
-            self._static_delay = False
+            static_delay = False
         else:
             self._delay_model = ConstantDelay(
                 local=config.local_delay, remote=config.remote_delay
             )
-            self._static_delay = True
-        self.nodes: list[Node] = [
-            Node(node_id=i, run_queue=self._make_run_queue())
+            static_delay = True
+
+        clock = lambda: self.sim.now  # noqa: E731
+        self.nodes: list[NodeRuntime] = [
+            NodeRuntime(node_id=i, run_queue=make_run_queue(config, clock))
             for i in range(config.nodes)
         ]
         for node in self.nodes:
@@ -227,140 +92,32 @@ class StreamEngine:
                 Worker(node_id=node.node_id, local_id=w)
                 for w in range(config.workers_per_node)
             ]
-        self._ops: dict[OpAddress, OperatorRuntime] = {}
-        self._client_converters: dict[tuple, ContextConverter] = {}
-        self._build_operators()
-        self._wire_edges()
-        self._finalize_wiring()
+
+        builder = TopologyBuilder(
+            config, self.jobs, self.policy, self.profiler,
+            self.channels, self._delay_model, static_delay,
+        )
+        self.plan: WiringPlan = builder.build(self.nodes)
+        self._ops = self.plan.ops
+        self.transport = Transport(
+            self.sim, self.nodes, self.plan, self.jobs, self.channels,
+            self._delay_model, static_delay, self.metrics, self.profiler,
+            config, builder,
+        )
+        cost_rng = self.rng.stream("exec-cost")
+        for node in self.nodes:
+            node.bind(self.sim, self.metrics, self.profiler, cost_rng,
+                      config, self.transport)
+        self.lifecycle = OperatorLifecycle(
+            self.sim, self.nodes, self._ops, self.transport
+        )
+        for node in self.nodes:
+            node.attach_lifecycle(self.lifecycle)
+
         for job in jobs:
             self.metrics.register_job(job.name, job.group, job.latency_constraint)
         for op_rt in self._ops.values():
             op_rt.job_metrics = self.metrics.job(op_rt.job.name)
-
-    # ------------------------------------------------------------------
-    # construction
-    # ------------------------------------------------------------------
-
-    def _make_run_queue(self) -> RunQueue:
-        if self.config.scheduler == "cameo":
-            return CameoRunQueue(
-                clock=lambda: self.sim.now, aging=self.config.starvation_aging
-            )
-        if self.config.scheduler == "fifo":
-            return FifoRunQueue()
-        return OrleansRunQueue(self.config.workers_per_node)
-
-    def _build_operators(self) -> None:
-        addresses: list[OpAddress] = []
-        for job in self.jobs.values():
-            for stage_name in job.graph.stage_names:
-                stage = job.graph.stage(stage_name)
-                for index in range(stage.parallelism):
-                    addresses.append(OpAddress(job.name, stage_name, index))
-        placement = Placement(self.config.placement, self.config.nodes)
-        node_of = placement.assign(addresses)
-        for address in addresses:
-            job = self.jobs[address.job]
-            stage = job.graph.stage(address.stage)
-            node_id = node_of[address]
-            mailbox = self.nodes[node_id].run_queue.create_mailbox()
-            converter = self._make_converter(job, stage) if self._contexts else None
-            operator = stage.build_operator(job.name, address.index)
-            self._ops[address] = OperatorRuntime(
-                operator, stage, job, node_id, mailbox, converter
-            )
-            self.profiler.seed(address, stage.cost.nominal(0))
-
-    def _make_converter(
-        self, job: JobSpec, stage: Optional[StageSpec], source_index: int = 0
-    ) -> ContextConverter:
-        return ContextConverter(
-            job_name=job.name,
-            latency_constraint=job.latency_constraint,
-            own_window=stage.window if stage is not None else None,
-            policy=self.policy,
-            progress_map=make_progress_map(job.time_domain, self.config.progress_window),
-            use_query_semantics=self.config.use_query_semantics,
-            source_index=source_index,
-        )
-
-    def _wire_edges(self) -> None:
-        for job in self.jobs.values():
-            graph = job.graph
-            for src_name in graph.stage_names:
-                src_stage = graph.stage(src_name)
-                for dst_name in graph.downstream(src_name):
-                    dst_stage = graph.stage(dst_name)
-                    for src_index in range(src_stage.parallelism):
-                        src_rt = self._ops[OpAddress(job.name, src_name, src_index)]
-                        if dst_stage.key_partitioned:
-                            targets = [
-                                self._ops[OpAddress(job.name, dst_name, j)]
-                                for j in range(dst_stage.parallelism)
-                            ]
-                        else:
-                            j = src_index % dst_stage.parallelism
-                            targets = [self._ops[OpAddress(job.name, dst_name, j)]]
-                        src_rt.routes.append(
-                            Route(dst_stage, targets, dst_stage.key_partitioned)
-                        )
-                        for target in targets:
-                            target.register_input(src_rt.address)
-            # ingestion clients feed every source operator
-            for stage_name in graph.source_stages:
-                stage = graph.stage(stage_name)
-                for index in range(stage.parallelism):
-                    key = _client_key(job.name, stage_name, index)
-                    self._ops[OpAddress(job.name, stage_name, index)].register_input(key)
-                    if self._contexts:
-                        self._client_converters[key] = self._make_converter(
-                            job, None, source_index=index
-                        )
-
-    def _finalize_wiring(self) -> None:
-        for op_rt in self._ops.values():
-            op_rt.operator.wire_inputs(max(1, op_rt.input_channel_count))
-            if isinstance(op_rt.operator, WindowedJoinOperator):
-                graph = op_rt.job.graph
-                left_stage = graph.upstream(op_rt.stage.name)[0]
-                sides = [
-                    0 if getattr(sender, "stage", None) == left_stage else 1
-                    for sender in op_rt.channel_senders
-                ]
-                op_rt.operator.set_channel_sides(sides)
-            if op_rt.converter is not None:
-                self._seed_converter(op_rt.converter, op_rt.job, op_rt.stage.name)
-            # pre-resolve per-target delivery channels, channel indices and
-            # (for constant delay models) the fixed transit delay
-            for route in op_rt.routes:
-                route.links = [
-                    (
-                        dst_rt,
-                        self.channels.channel(op_rt.address, dst_rt.address),
-                        dst_rt.channel_index_of(op_rt.address),
-                        self._delay_model.delay(op_rt.node_id, dst_rt.node_id)
-                        if self._static_delay
-                        else None,
-                    )
-                    for dst_rt in route.targets
-                ]
-        for key, converter in self._client_converters.items():
-            _, job_name, stage_name, _ = key
-            job = self.jobs[job_name]
-            # the client's "downstream" is the source stage itself
-            converter.seed_reply_state(
-                stage_name,
-                job.graph.stage(stage_name).cost.nominal(0),
-                job.graph.critical_path_cost(stage_name),
-            )
-
-    def _seed_converter(self, converter: ContextConverter, job: JobSpec, stage_name: str) -> None:
-        for dst_name in job.graph.downstream(stage_name):
-            converter.seed_reply_state(
-                dst_name,
-                job.graph.stage(dst_name).cost.nominal(0),
-                job.graph.critical_path_cost(dst_name),
-            )
 
     # ------------------------------------------------------------------
     # public API
@@ -372,6 +129,11 @@ class StreamEngine:
     @property
     def operator_runtimes(self) -> list[OperatorRuntime]:
         return list(self._ops.values())
+
+    def describe_topology(self) -> dict:
+        """JSON-able dump of the live wiring: operators, placements,
+        channels and reply routes (the ``repro topology`` subcommand)."""
+        return self.plan.describe()
 
     def ingest(
         self,
@@ -385,69 +147,11 @@ class StreamEngine:
     ) -> None:
         """Deliver a batch of external events to a source operator.
 
-        For event-time jobs the given logical times are kept; for
-        ingestion-time jobs the logical time of every event is the arrival
-        instant (§4.3).  ``sorted_times`` asserts the given logical times
-        are non-decreasing, enabling endpoint min/max on the hot path.
-        """
-        now = self.sim.now
-        cached = self._ingest_cache.get((job_name, stage_name, source_index))
-        if cached is None:
-            job = self.jobs[job_name]
-            src_rt = self._ops[OpAddress(job_name, stage_name, source_index)]
-            key = _client_key(job_name, stage_name, source_index)
-            converter = self._client_converters[key] if self._contexts else None
-            channel = self.channels.channel(key, src_rt.address)
-            cached = (
-                job,
-                src_rt,
-                key,
-                converter,
-                channel,
-                src_rt.channel_index_of(key),
-                # clients are remote machines (node id -1 never matches)
-                self._delay_model.delay(-1, src_rt.node_id)
-                if self._static_delay
-                else None,
-            )
-            self._ingest_cache[(job_name, stage_name, source_index)] = cached
-        job, src_rt, key, converter, channel, channel_index, transit = cached
-        count = len(logical_times)
-        if job.time_domain == "ingestion":
-            logical_times = np.full(count, now)
-            sorted_times = True  # constant logical times
-        batch = EventBatch(
-            logical_times, values, keys, arrival_time=now, source_id=source_index,
-            times_sorted=sorted_times,
+        See :meth:`repro.runtime.transport.Transport.ingest`."""
+        self.transport.ingest(
+            job_name, stage_name, source_index, logical_times,
+            values=values, keys=keys, sorted_times=sorted_times,
         )
-        progress = batch.max_logical_time
-        pc = None
-        if converter is not None:
-            pc = converter.build(
-                p=progress,
-                t=now,
-                now=now,
-                target_stage=stage_name,
-                target_window=src_rt.stage.window,
-                tuple_count=count,
-                at_source=True,
-            )
-        msg = Message(
-            target=src_rt.address,
-            batch=batch,
-            p=progress,
-            t=now,
-            deps_arrival=now,
-            sender=key,
-            pc=pc,
-            channel_index=channel_index,
-        )
-        src_rt.job_metrics.tuples_ingested += count
-        if transit is None:
-            # clients are remote machines (node id -1 never matches a node)
-            transit = self._delay_model.delay(-1, src_rt.node_id)
-        arrival = channel.deliver_time(now, transit)
-        self.sim.schedule_at_fast(arrival, self._deliver, src_rt, msg, None)
 
     def run(self, until: float) -> None:
         """Run the simulation until the given time, then finalize metrics."""
@@ -459,366 +163,19 @@ class StreamEngine:
                 )
 
     # ------------------------------------------------------------------
-    # elastic worker pools
+    # elastic worker pools (compat shims over the lifecycle API)
     # ------------------------------------------------------------------
 
     def add_worker(self, node_id: int) -> Worker:
-        """Grow a node's worker pool at the current simulation time."""
-        node = self.nodes[node_id]
-        worker = Worker(node_id=node_id, local_id=len(node.workers),
-                        created_at=self.sim.now)
-        node.workers.append(worker)
-        if isinstance(node.run_queue, OrleansRunQueue):
-            node.run_queue.add_worker_slot()
-        self._wake_idle_worker(node)  # pick up any pending work immediately
-        return worker
+        """Grow a node's worker pool (see :meth:`OperatorLifecycle.spawn`)."""
+        return self.lifecycle.spawn(node_id)
 
     def retire_worker(self, node_id: int) -> Optional[Worker]:
-        """Shrink a node's pool: the last active worker finishes its current
-        message and then stops.  Returns the retired worker, or None if the
-        node is down to one active worker (never retire the last)."""
-        node = self.nodes[node_id]
-        active = [w for w in node.workers if not w.retired]
-        if len(active) <= 1:
-            return None
-        worker = active[-1]
-        worker.retired = True
-        worker.retired_at = self.sim.now
-        return worker
+        """Shrink a node's pool (see :meth:`OperatorLifecycle.retire`)."""
+        return self.lifecycle.retire(node_id)
 
     def worker_seconds(self, horizon: float) -> float:
         """Total worker-seconds provisioned in [0, horizon] (cost proxy)."""
         return sum(
             w.lifetime(horizon) for node in self.nodes for w in node.workers
         )
-
-    # ------------------------------------------------------------------
-    # delivery and worker loop
-    # ------------------------------------------------------------------
-
-    def _deliver(
-        self, op_rt: OperatorRuntime, msg: Message, producer: Optional[Worker]
-    ) -> None:
-        if op_rt.is_source:
-            capacity = self._capacity
-            if capacity is not None and (
-                op_rt.blocked or len(op_rt.mailbox) >= capacity
-            ):
-                # ingestion back-pressure: hold the message in arrival order
-                # until the source's mailbox drains below capacity
-                op_rt.blocked.append(msg)
-                op_rt.job_metrics.backpressure_events += 1
-                return
-            msg.enqueue_time = self.sim.now
-            op_rt.mailbox.push(msg)
-            job_metrics = op_rt.job_metrics
-            size = len(op_rt.mailbox)
-            if size > job_metrics.max_source_mailbox:
-                job_metrics.max_source_mailbox = size
-        else:
-            msg.enqueue_time = self.sim.now
-            op_rt.mailbox.push(msg)
-        node = self.nodes[op_rt.node_id]
-        hint = None
-        if producer is not None and producer.node_id == op_rt.node_id:
-            hint = producer.local_id
-        node.run_queue.notify(op_rt, self.sim.now, hint)
-        self._wake_idle_worker(node)
-
-    def _wake_idle_worker(self, node: Node) -> None:
-        worker = node.idle_worker()
-        if worker is not None:
-            worker.wake_scheduled = True
-            self.sim.schedule_fast(0.0, self._worker_wake, worker)
-
-    def _worker_wake(self, worker: Worker) -> None:
-        worker.wake_scheduled = False
-        if worker.idle:
-            worker.idle = False
-            self._worker_next(worker)
-
-    def _worker_next(self, worker: Worker) -> None:
-        sim = self.sim
-        run_queue = self.nodes[worker.node_id].run_queue
-        switch_cost = self._switch_cost
-        while True:
-            if worker.retired:
-                worker.idle = True
-                worker.current_op = None
-                return
-            op_rt = run_queue.pop(worker.local_id)
-            if op_rt is None:
-                worker.idle = True
-                worker.current_op = None
-                return
-            op_rt.busy = True
-            worker.current_op = op_rt
-            worker.quantum_start = sim.now
-            if switch_cost > 0 and worker.last_op is not op_rt:
-                # activation switch penalty (cache refill / scheduling work)
-                worker.switches += 1
-                worker.busy_time += switch_cost
-                worker.last_op = op_rt
-                sim.schedule_fast(switch_cost, self._start_message, worker, op_rt)
-                return
-            worker.last_op = op_rt
-            if not self._run_op(worker, op_rt):
-                return
-            # the operator was released inline (mailbox drained or requeued
-            # at the quantum boundary): pop the next one without an event
-
-    def _start_message(self, worker: Worker, op_rt: OperatorRuntime) -> None:
-        """Entry point after a switch-cost delay: run the popped operator."""
-        if self._run_op(worker, op_rt):
-            self._worker_next(worker)
-
-    def _run_op(self, worker: Worker, op_rt: OperatorRuntime) -> bool:
-        """Run consecutive messages of ``op_rt`` on ``worker``.
-
-        Quantum-batched execution: while the kernel can prove that no other
-        pending event fires before a message's completion instant
-        (:meth:`~repro.sim.kernel.Simulator.try_advance`), time is advanced
-        inline and the completion handler runs without a heap round-trip —
-        one kernel event per quantum instead of one per message.  Whenever
-        the proof fails, the completion is scheduled exactly as before, so
-        the observable event order is identical either way.
-
-        Returns True when the worker released the operator (mailbox drained
-        or requeued at the quantum boundary) and should pop its next one;
-        False when a completion event was scheduled and control must return
-        to the kernel.
-        """
-        sim = self.sim
-        mailbox = op_rt.mailbox
-        job_metrics = op_rt.job_metrics
-        stage_name = op_rt.stage_name
-        cost_model = op_rt.cost_model
-        cost_rng = self._cost_rng
-        quantum = self._quantum
-        while True:
-            now = sim.now
-            msg = mailbox.pop()
-            if op_rt.blocked:
-                capacity = self._capacity
-                if capacity is not None and len(mailbox) < capacity:
-                    released = op_rt.blocked.popleft()
-                    released.enqueue_time = now
-                    mailbox.push(released)
-            enqueue_time = msg.enqueue_time
-            if enqueue_time == enqueue_time:  # not NaN
-                queue_stat = op_rt.queue_stat
-                if queue_stat is None:
-                    queue_stat = job_metrics.queueing.get(stage_name)
-                    if queue_stat is None:
-                        queue_stat = RunningStat()
-                        job_metrics.queueing[stage_name] = queue_stat
-                    op_rt.queue_stat = queue_stat
-                queue_stat.add(now - enqueue_time)
-            pc = msg.pc
-            if pc is not None and now > pc.deadline:
-                job_metrics.start_violations += 1
-            if self._record_timeline:
-                self.metrics.record_timeline_point(
-                    now, op_rt.job.name, stage_name, op_rt.address.index, msg.p
-                )
-            cost = cost_model.sample(msg.tuple_count, cost_rng)
-            exec_stat = op_rt.exec_stat
-            if exec_stat is None:
-                exec_stat = job_metrics.execution.get(stage_name)
-                if exec_stat is None:
-                    exec_stat = RunningStat()
-                    job_metrics.execution[stage_name] = exec_stat
-                op_rt.exec_stat = exec_stat
-            exec_stat.add(cost)
-            if not sim.try_advance(now + cost):
-                sim.schedule_fast(
-                    cost, self._complete_message, worker, op_rt, msg, cost
-                )
-                return False
-            # the kernel advanced to ``now + cost``: complete inline
-            self._finish_message(worker, op_rt, msg, cost)
-            if len(mailbox) == 0:
-                op_rt.busy = False
-                return True
-            now = sim.now
-            if now - worker.quantum_start >= quantum:
-                run_queue = self.nodes[worker.node_id].run_queue
-                if run_queue.should_swap(op_rt):
-                    op_rt.busy = False
-                    run_queue.requeue(op_rt, worker.local_id)
-                    return True
-                worker.quantum_start = now  # fresh quantum, same operator
-
-    def _complete_message(
-        self, worker: Worker, op_rt: OperatorRuntime, msg: Message, cost: float
-    ) -> None:
-        """Kernel-event completion path (when inline advance was refused)."""
-        self._finish_message(worker, op_rt, msg, cost)
-        if len(op_rt.mailbox) == 0:
-            op_rt.busy = False
-            self._worker_next(worker)
-            return
-        now = self.sim.now
-        if now - worker.quantum_start >= self._quantum:
-            run_queue = self.nodes[worker.node_id].run_queue
-            if run_queue.should_swap(op_rt):
-                op_rt.busy = False
-                run_queue.requeue(op_rt, worker.local_id)
-                self._worker_next(worker)
-                return
-            worker.quantum_start = now  # fresh quantum, same operator
-        if self._run_op(worker, op_rt):
-            self._worker_next(worker)
-
-    def _finish_message(
-        self, worker: Worker, op_rt: OperatorRuntime, msg: Message, cost: float
-    ) -> None:
-        """Everything that happens at a message's completion instant."""
-        now = self.sim.now
-        worker.busy_time += cost
-        worker.messages_executed += 1
-        job_metrics = op_rt.job_metrics
-        job_metrics.messages_processed += 1
-        self.metrics.total_messages += 1
-        emissions = op_rt.operator.on_message(msg, now)
-        batch = msg.batch
-        if op_rt.is_sink and batch is not None and len(batch) > 0:
-            job_metrics.record_output(
-                now, now - msg.t, msg.tuple_count, float(batch.values.sum())
-            )
-        elif op_rt.is_source:
-            count = msg.tuple_count
-            job_metrics.tuples_processed += count
-            job_metrics.source_events.append((now, count))
-        if self._contexts:
-            self.profiler.record(op_rt.address, cost)
-            self._send_reply(op_rt, msg)
-        if self._record_completions:
-            self.metrics.completion_log.append(
-                (now, op_rt.job.name, op_rt.stage_name, op_rt.address.index, msg.msg_id)
-            )
-        if emissions:
-            self._route_emissions(op_rt, msg, emissions, worker)
-
-    # ------------------------------------------------------------------
-    # emission routing and reply contexts
-    # ------------------------------------------------------------------
-
-    def _route_emissions(
-        self,
-        src_rt: OperatorRuntime,
-        trigger: Message,
-        emissions: list[Emission],
-        worker: Worker,
-    ) -> None:
-        for route in src_rt.routes:
-            links = route.links
-            if route.key_partitioned and len(links) > 1:
-                parallelism = len(links)
-                if parallelism == 2:
-                    for emission in emissions:
-                        batch = emission.batch
-                        mask = batch.keys % 2 == 0
-                        self._send(
-                            src_rt, links[0], batch.select(mask),
-                            emission, trigger, worker,
-                        )
-                        self._send(
-                            src_rt, links[1], batch.select(~mask),
-                            emission, trigger, worker,
-                        )
-                    continue
-                for emission in emissions:
-                    partition = emission.batch.keys % parallelism
-                    for j, link in enumerate(links):
-                        sub = emission.batch.select(partition == j)
-                        self._send(src_rt, link, sub, emission, trigger, worker)
-            else:
-                for emission in emissions:
-                    for link in links:
-                        self._send(
-                            src_rt, link, emission.batch, emission, trigger, worker
-                        )
-
-    def _send(
-        self,
-        src_rt: OperatorRuntime,
-        link: tuple,
-        batch: EventBatch,
-        emission: Emission,
-        trigger: Message,
-        worker: Worker,
-    ) -> None:
-        dst_rt, channel, channel_index, transit = link
-        if len(batch) == 0 and not dst_rt.stage.is_windowed:
-            # only windowed operators consume progress heartbeats
-            return
-        now = self.sim.now
-        pc: Optional[PriorityContext] = None
-        converter = src_rt.converter
-        if self._contexts and converter is not None:
-            pc = converter.build(
-                p=emission.progress,
-                t=emission.arrival,
-                now=now,
-                target_stage=dst_rt.stage_name,
-                target_window=dst_rt.stage.window,
-                tuple_count=len(batch),
-                inherited=trigger.pc,
-                at_source=False,
-            )
-        out = Message(
-            target=dst_rt.address,
-            batch=batch,
-            p=emission.progress,
-            t=emission.arrival,
-            deps_arrival=emission.arrival,
-            sender=src_rt.address,
-            pc=pc,
-            channel_index=channel_index,
-        )
-        if transit is None:
-            transit = self._delay_model.delay(src_rt.node_id, dst_rt.node_id)
-        arrival = channel.deliver_time(now, transit)
-        self.sim.schedule_at_fast(arrival, self._deliver, dst_rt, out, worker)
-
-    def _send_reply(self, op_rt: OperatorRuntime, msg: Message) -> None:
-        """PREPAREREPLY at ``op_rt`` → PROCESSCTXFROMREPLY at the sender.
-
-        Acknowledgements carry no data and execute no operator logic, so
-        they bypass the run queue; they still pay the network delay
-        (Fig. 5a steps 5-6)."""
-        if msg.kind is not MessageKind.DATA or msg.sender is None:
-            return
-        if op_rt.converter is None:
-            return
-        rc = op_rt.converter.prepare_reply(self.profiler.estimate(op_rt.address))
-        rc.mailbox_size = len(op_rt.mailbox)
-        enqueue_time = msg.enqueue_time
-        if enqueue_time == enqueue_time:  # not NaN
-            rc.queueing_delay = max(0.0, self.sim.now - enqueue_time)
-        self.metrics.total_acks += 1
-        sender = msg.sender
-        route = op_rt.reply_cache.get(sender)
-        if route is None:
-            if isinstance(sender, tuple) and sender and sender[0] == "client":
-                # clients are remote machines (node id -1 never matches)
-                converter, dst_node = self._client_converters.get(sender), -1
-            else:
-                sender_rt = self._ops[sender]
-                converter, dst_node = sender_rt.converter, sender_rt.node_id
-            transit = (
-                self._delay_model.delay(op_rt.node_id, dst_node)
-                if self._static_delay
-                else None
-            )
-            route = (converter, dst_node, transit)
-            op_rt.reply_cache[sender] = route
-        converter, dst_node, delay = route
-        if delay is None:
-            # jittered transit: drawn per reply, and always drawn before the
-            # converter check so the RNG stream is independent of wiring
-            delay = self._delay_model.delay(op_rt.node_id, dst_node)
-        if converter is None:
-            return
-        self.sim.schedule_fast(delay, converter.process_reply, op_rt.stage_name, rc)

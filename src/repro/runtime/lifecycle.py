@@ -1,0 +1,140 @@
+"""Operator lifecycle: dynamic reconfiguration as a runtime primitive.
+
+The paper motivates Cameo with operators that *stay put* while the
+scheduler absorbs load variation (§1-2), but a layered runtime should
+still support the reconfigurations production engines lean on — live
+operator migration and elastic worker pools — without a restart, the way
+*Towards Fine-Grained Scalability for Stateful Stream Processing Systems*
+argues reconfiguration must be a first-class runtime operation.  This
+controller is that public API; experiments use it instead of poking
+node worker pools or run queues directly.
+
+Semantics:
+
+* ``spawn(node)`` / ``retire(node)`` grow / shrink one node's worker pool
+  at the current simulation instant (a retired worker finishes its current
+  message, then stops taking work).
+* ``rescale(node, workers)`` sets the active pool size, spawning or
+  retiring as needed.
+* ``migrate(op, dst_node)`` moves an operator to another node: its run
+  queue entry on the source node is discarded, the mailbox is drained
+  into a mailbox of the destination's discipline (preserving pop order),
+  placement-dependent caches are rewired in place, and the operator is
+  re-registered with the destination run queue.  If the operator is busy
+  on a worker, the move completes when that worker releases it (mailbox
+  drained or quantum boundary) — the in-flight quantum still executes,
+  and is accounted, on the source node.
+
+Determinism: every step runs at a simulation instant through the kernel's
+ordinary scheduling primitives, so a run with migrations is exactly as
+reproducible as one without.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.dataflow.operators import OpAddress
+from repro.runtime.topology import OperatorRuntime
+from repro.runtime.workers import Worker
+
+
+class OperatorLifecycle:
+    """Public reconfiguration API over a running engine."""
+
+    def __init__(self, sim, nodes: list, ops: dict, transport):
+        self._sim = sim
+        self._nodes = nodes
+        self._ops = ops
+        self._transport = transport
+        #: completed migrations, for tests and the topology dump
+        self.completed_migrations = 0
+        #: migrations deferred because the operator was busy
+        self.deferred_migrations = 0
+
+    # ------------------------------------------------------------------
+    # elastic worker pools
+    # ------------------------------------------------------------------
+
+    def spawn(self, node_id: int) -> Worker:
+        """Grow a node's worker pool by one at the current instant."""
+        return self._nodes[node_id].add_worker()
+
+    def retire(self, node_id: int) -> Optional[Worker]:
+        """Shrink a node's pool by one; never retires the last worker.
+
+        Returns the retired worker, or None when the node is already down
+        to a single active worker."""
+        return self._nodes[node_id].retire_worker()
+
+    def rescale(self, node_id: int, workers: int) -> int:
+        """Set a node's *active* worker count; returns the resulting count.
+
+        Grows with :meth:`spawn` and shrinks with :meth:`retire`, so the
+        result may stay above the target when shrinking below one worker
+        is requested (the last worker is never retired)."""
+        if workers < 1:
+            raise ValueError("target worker count must be >= 1")
+        node = self._nodes[node_id]
+        while node.active_worker_count < workers:
+            self.spawn(node_id)
+        while node.active_worker_count > workers:
+            if self.retire(node_id) is None:
+                break
+        return node.active_worker_count
+
+    # ------------------------------------------------------------------
+    # operator migration
+    # ------------------------------------------------------------------
+
+    def migrate(
+        self, op: Union[OpAddress, OperatorRuntime], dst_node: int
+    ) -> bool:
+        """Move an operator to ``dst_node``.
+
+        Returns True when the move completed immediately, False when the
+        operator was busy and the move will complete at its next release
+        point (a later ``migrate`` call may redirect a still-pending
+        move)."""
+        op_rt = op if isinstance(op, OperatorRuntime) else self._ops[op]
+        if not 0 <= dst_node < len(self._nodes):
+            raise ValueError(f"unknown node {dst_node}")
+        if dst_node == op_rt.node_id:
+            op_rt.pending_migration = None
+            return True
+        if op_rt.busy:
+            op_rt.pending_migration = dst_node
+            self.deferred_migrations += 1
+            return False
+        self._move(op_rt, dst_node)
+        return True
+
+    def finish_migration(self, op_rt: OperatorRuntime) -> None:
+        """Complete a deferred move; called by the node dispatch loop at
+        the release point of an operator with ``pending_migration`` set."""
+        dst_node = op_rt.pending_migration
+        op_rt.pending_migration = None
+        if dst_node is not None and dst_node != op_rt.node_id:
+            self._move(op_rt, dst_node)
+
+    def _move(self, op_rt: OperatorRuntime, dst_node: int) -> None:
+        src = self._nodes[op_rt.node_id]
+        dst = self._nodes[dst_node]
+        # 1. forget the operator on the source node's run queue
+        src.run_queue.discard(op_rt)
+        # 2. drain the mailbox into the destination discipline, preserving
+        #    pop order (stable: equal-priority messages keep their order)
+        old_mailbox = op_rt.mailbox
+        new_mailbox = dst.run_queue.create_mailbox()
+        while len(old_mailbox) > 0:
+            new_mailbox.push(old_mailbox.pop())
+        op_rt.mailbox = new_mailbox
+        # 3. re-place and rewire every placement-dependent cache
+        op_rt.node_id = dst_node
+        self._transport.rewire(op_rt)
+        op_rt.migrations += 1
+        self.completed_migrations += 1
+        # 4. re-register with the destination run queue
+        if len(new_mailbox) > 0:
+            dst.run_queue.notify(op_rt, self._sim.now, None)
+            dst.wake_idle_worker()

@@ -1,0 +1,318 @@
+"""Node runtime: one node's worker pool, run queue and dispatch loop.
+
+Each :class:`NodeRuntime` owns exactly the state one cluster node owns in
+the paper's runtime (§5.2 / Fig. 5b): a run queue of operators with
+pending work, a pool of workers (vCPU threads), and the dispatch loop
+that pops operators in the scheduler's order, runs messages for a
+quantum, performs the preemption check, and requeues.  Nodes share no
+mutable scheduling state with each other — cross-node interaction goes
+through the :class:`~repro.runtime.transport.Transport` (message
+delivery) and the simulation clock only.
+
+The dispatch loop keeps PR 2's quantum-batched fast path: while the
+kernel can prove no other pending event fires before a message's
+completion instant, time is advanced inline and the completion handler
+runs without a heap round-trip.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.scheduler import CameoRunQueue, RunQueue
+from repro.dataflow.messages import Message
+from repro.metrics.stats import RunningStat
+from repro.runtime.baselines import FifoRunQueue, OrleansRunQueue
+from repro.runtime.topology import OperatorRuntime
+from repro.runtime.workers import Worker
+
+
+def make_run_queue(config, clock) -> RunQueue:
+    """Run-queue factory: the scheduler choice is the only knob."""
+    if config.scheduler == "cameo":
+        return CameoRunQueue(clock=clock, aging=config.starvation_aging)
+    if config.scheduler == "fifo":
+        return FifoRunQueue()
+    return OrleansRunQueue(config.workers_per_node)
+
+
+class NodeRuntime:
+    """One cluster node: run queue, worker pool, and the dispatch loop.
+
+    Construction happens in two phases: the node is created first (the
+    topology builder needs its run queue to create mailboxes), then
+    :meth:`bind` attaches the transport and per-run caches once the
+    engine's collaborators exist.  ``lifecycle`` is attached last via
+    :meth:`attach_lifecycle`; the dispatch loop only consults it when an
+    operator with a pending migration is released.
+    """
+
+    __slots__ = (
+        "node_id",
+        "run_queue",
+        "workers",
+        "sim",
+        "metrics",
+        "_transport",
+        "_lifecycle",
+        "_contexts",
+        "_profiler",
+        "_cost_rng",
+        "_quantum",
+        "_switch_cost",
+        "_capacity",
+        "_record_timeline",
+        "_record_completions",
+    )
+
+    def __init__(self, node_id: int, run_queue: RunQueue):
+        self.node_id = node_id
+        self.run_queue = run_queue
+        self.workers: list[Worker] = []
+        self.sim = None
+        self.metrics = None
+        self._transport = None
+        self._lifecycle = None
+
+    def bind(self, sim, metrics, profiler, cost_rng, config, transport) -> None:
+        """Attach execution-time collaborators and hot-path config caches."""
+        self.sim = sim
+        self.metrics = metrics
+        self._profiler = profiler
+        self._cost_rng = cost_rng
+        self._transport = transport
+        self._contexts = config.contexts_enabled
+        self._quantum = config.quantum
+        self._switch_cost = config.switch_cost
+        self._capacity = config.source_mailbox_capacity
+        self._record_timeline = config.record_schedule_timeline
+        self._record_completions = config.record_completion_timeline
+
+    def attach_lifecycle(self, lifecycle) -> None:
+        self._lifecycle = lifecycle
+
+    # ------------------------------------------------------------------
+    # worker pool
+    # ------------------------------------------------------------------
+
+    def idle_worker(self) -> Optional[Worker]:
+        """An idle, non-retired worker with no wake already scheduled."""
+        for worker in self.workers:
+            if worker.idle and not worker.wake_scheduled and not worker.retired:
+                return worker
+        return None
+
+    @property
+    def active_worker_count(self) -> int:
+        return sum(1 for w in self.workers if not w.retired)
+
+    def add_worker(self) -> Worker:
+        """Grow this node's worker pool at the current simulation time."""
+        worker = Worker(node_id=self.node_id, local_id=len(self.workers),
+                        created_at=self.sim.now)
+        self.workers.append(worker)
+        if isinstance(self.run_queue, OrleansRunQueue):
+            self.run_queue.add_worker_slot()
+        self.wake_idle_worker()  # pick up any pending work immediately
+        return worker
+
+    def retire_worker(self) -> Optional[Worker]:
+        """Shrink the pool: the last active worker finishes its current
+        message and then stops.  Returns the retired worker, or None if the
+        node is down to one active worker (never retire the last)."""
+        active = [w for w in self.workers if not w.retired]
+        if len(active) <= 1:
+            return None
+        worker = active[-1]
+        worker.retired = True
+        worker.retired_at = self.sim.now
+        return worker
+
+    # ------------------------------------------------------------------
+    # dispatch loop
+    # ------------------------------------------------------------------
+
+    def wake_idle_worker(self) -> None:
+        worker = self.idle_worker()
+        if worker is not None:
+            worker.wake_scheduled = True
+            self.sim.schedule_fast(0.0, self._worker_wake, worker)
+
+    def _worker_wake(self, worker: Worker) -> None:
+        worker.wake_scheduled = False
+        if worker.idle:
+            worker.idle = False
+            self._worker_next(worker)
+
+    def _worker_next(self, worker: Worker) -> None:
+        sim = self.sim
+        run_queue = self.run_queue
+        switch_cost = self._switch_cost
+        while True:
+            if worker.retired:
+                worker.idle = True
+                worker.current_op = None
+                return
+            op_rt = run_queue.pop(worker.local_id)
+            if op_rt is None:
+                worker.idle = True
+                worker.current_op = None
+                return
+            op_rt.busy = True
+            worker.current_op = op_rt
+            worker.quantum_start = sim.now
+            if switch_cost > 0 and worker.last_op is not op_rt:
+                # activation switch penalty (cache refill / scheduling work)
+                worker.switches += 1
+                worker.busy_time += switch_cost
+                worker.last_op = op_rt
+                sim.schedule_fast(switch_cost, self._start_message, worker, op_rt)
+                return
+            worker.last_op = op_rt
+            if not self._run_op(worker, op_rt):
+                return
+            # the operator was released inline (mailbox drained or requeued
+            # at the quantum boundary): pop the next one without an event
+
+    def _start_message(self, worker: Worker, op_rt: OperatorRuntime) -> None:
+        """Entry point after a switch-cost delay: run the popped operator."""
+        if self._run_op(worker, op_rt):
+            self._worker_next(worker)
+
+    def _release(self, op_rt: OperatorRuntime, worker: Worker,
+                 requeue: bool) -> None:
+        """Release a running operator; completes a deferred migration."""
+        op_rt.busy = False
+        if op_rt.pending_migration is not None:
+            self._lifecycle.finish_migration(op_rt)
+        elif requeue:
+            self.run_queue.requeue(op_rt, worker.local_id)
+
+    def _run_op(self, worker: Worker, op_rt: OperatorRuntime) -> bool:
+        """Run consecutive messages of ``op_rt`` on ``worker``.
+
+        Quantum-batched execution: while the kernel can prove that no other
+        pending event fires before a message's completion instant
+        (:meth:`~repro.sim.kernel.Simulator.try_advance`), time is advanced
+        inline and the completion handler runs without a heap round-trip —
+        one kernel event per quantum instead of one per message.  Whenever
+        the proof fails, the completion is scheduled exactly as before, so
+        the observable event order is identical either way.
+
+        Returns True when the worker released the operator (mailbox drained
+        or requeued at the quantum boundary) and should pop its next one;
+        False when a completion event was scheduled and control must return
+        to the kernel.
+        """
+        sim = self.sim
+        mailbox = op_rt.mailbox
+        job_metrics = op_rt.job_metrics
+        stage_name = op_rt.stage_name
+        cost_model = op_rt.cost_model
+        cost_rng = self._cost_rng
+        quantum = self._quantum
+        while True:
+            now = sim.now
+            msg = mailbox.pop()
+            if op_rt.blocked:
+                capacity = self._capacity
+                if capacity is not None and len(mailbox) < capacity:
+                    released = op_rt.blocked.popleft()
+                    released.enqueue_time = now
+                    mailbox.push(released)
+            enqueue_time = msg.enqueue_time
+            if enqueue_time == enqueue_time:  # not NaN
+                queue_stat = op_rt.queue_stat
+                if queue_stat is None:
+                    queue_stat = job_metrics.queueing.get(stage_name)
+                    if queue_stat is None:
+                        queue_stat = RunningStat()
+                        job_metrics.queueing[stage_name] = queue_stat
+                    op_rt.queue_stat = queue_stat
+                queue_stat.add(now - enqueue_time)
+            pc = msg.pc
+            if pc is not None and now > pc.deadline:
+                job_metrics.start_violations += 1
+            if self._record_timeline:
+                self.metrics.record_timeline_point(
+                    now, op_rt.job.name, stage_name, op_rt.address.index, msg.p
+                )
+            cost = cost_model.sample(msg.tuple_count, cost_rng)
+            exec_stat = op_rt.exec_stat
+            if exec_stat is None:
+                exec_stat = job_metrics.execution.get(stage_name)
+                if exec_stat is None:
+                    exec_stat = RunningStat()
+                    job_metrics.execution[stage_name] = exec_stat
+                op_rt.exec_stat = exec_stat
+            exec_stat.add(cost)
+            if not sim.try_advance(now + cost):
+                sim.schedule_fast(
+                    cost, self._complete_message, worker, op_rt, msg, cost
+                )
+                return False
+            # the kernel advanced to ``now + cost``: complete inline
+            self._finish_message(worker, op_rt, msg, cost)
+            if len(mailbox) == 0:
+                op_rt.busy = False
+                if op_rt.pending_migration is not None:
+                    self._lifecycle.finish_migration(op_rt)
+                return True
+            now = sim.now
+            if now - worker.quantum_start >= quantum:
+                if op_rt.pending_migration is not None or self.run_queue.should_swap(op_rt):
+                    self._release(op_rt, worker, requeue=True)
+                    return True
+                worker.quantum_start = now  # fresh quantum, same operator
+
+    def _complete_message(
+        self, worker: Worker, op_rt: OperatorRuntime, msg: Message, cost: float
+    ) -> None:
+        """Kernel-event completion path (when inline advance was refused)."""
+        self._finish_message(worker, op_rt, msg, cost)
+        if len(op_rt.mailbox) == 0:
+            op_rt.busy = False
+            if op_rt.pending_migration is not None:
+                self._lifecycle.finish_migration(op_rt)
+            self._worker_next(worker)
+            return
+        now = self.sim.now
+        if now - worker.quantum_start >= self._quantum:
+            if op_rt.pending_migration is not None or self.run_queue.should_swap(op_rt):
+                self._release(op_rt, worker, requeue=True)
+                self._worker_next(worker)
+                return
+            worker.quantum_start = now  # fresh quantum, same operator
+        if self._run_op(worker, op_rt):
+            self._worker_next(worker)
+
+    def _finish_message(
+        self, worker: Worker, op_rt: OperatorRuntime, msg: Message, cost: float
+    ) -> None:
+        """Everything that happens at a message's completion instant."""
+        now = self.sim.now
+        worker.busy_time += cost
+        worker.messages_executed += 1
+        job_metrics = op_rt.job_metrics
+        job_metrics.messages_processed += 1
+        self.metrics.total_messages += 1
+        emissions = op_rt.operator.on_message(msg, now)
+        batch = msg.batch
+        if op_rt.is_sink and batch is not None and len(batch) > 0:
+            job_metrics.record_output(
+                now, now - msg.t, msg.tuple_count, float(batch.values.sum())
+            )
+        elif op_rt.is_source:
+            count = msg.tuple_count
+            job_metrics.tuples_processed += count
+            job_metrics.source_events.append((now, count))
+        transport = self._transport
+        if self._contexts:
+            self._profiler.record(op_rt.address, cost)
+            transport.send_reply(op_rt, msg)
+        if self._record_completions:
+            self.metrics.completion_log.append(
+                (now, op_rt.job.name, op_rt.stage_name, op_rt.address.index, msg.msg_id)
+            )
+        if emissions:
+            transport.route_emissions(op_rt, msg, emissions, worker)

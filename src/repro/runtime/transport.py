@@ -1,0 +1,351 @@
+"""Transport layer: message delivery, emission routing, and RC replies.
+
+Everything that moves a message between operators lives here, behind the
+channel-table interface of :mod:`repro.sim.network`: per-channel FIFO
+delivery (§4.3), the local/remote delay models (with optional lognormal
+jitter), ingestion from external clients, key-partitioned emission
+routing with progress heartbeats, and the RC-carrying acknowledgements
+that flow back upstream (Fig. 5a steps 5-6).  Keeping delivery semantics
+in one place is what lets future failure models (loss, partitions) hook
+in without touching the node dispatch loop.
+
+The transport also owns the wiring-time caches that depend on placement
+(route links, reply routes, the ingest fast path) and rebuilds them when
+the lifecycle controller migrates an operator to a different node.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.context import PriorityContext
+from repro.dataflow.events import EventBatch
+from repro.dataflow.messages import Message, MessageKind
+from repro.dataflow.operators import Emission, OpAddress
+from repro.runtime.topology import OperatorRuntime, client_key
+from repro.runtime.workers import Worker
+
+
+class Transport:
+    """Routes messages across the channel table of a simulated cluster."""
+
+    __slots__ = (
+        "channels",
+        "sim",
+        "metrics",
+        "_nodes",
+        "_ops",
+        "_jobs",
+        "_client_converters",
+        "_builder",
+        "_delay_model",
+        "_static_delay",
+        "_contexts",
+        "_profiler",
+        "_capacity",
+        "_ingest_cache",
+    )
+
+    def __init__(
+        self,
+        sim,
+        nodes: list,
+        plan,
+        jobs: dict,
+        channels,
+        delay_model,
+        static_delay: bool,
+        metrics,
+        profiler,
+        config,
+        builder,
+    ):
+        self.sim = sim
+        self.channels = channels
+        self.metrics = metrics
+        self._nodes = nodes
+        self._ops = plan.ops
+        self._jobs = jobs
+        self._client_converters = plan.client_converters
+        self._builder = builder
+        self._delay_model = delay_model
+        self._static_delay = static_delay
+        self._contexts = config.contexts_enabled
+        self._profiler = profiler
+        self._capacity = config.source_mailbox_capacity
+        self._ingest_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # ingestion (client -> source operator)
+    # ------------------------------------------------------------------
+
+    def ingest(
+        self,
+        job_name: str,
+        stage_name: str,
+        source_index: int,
+        logical_times,
+        values=None,
+        keys=None,
+        sorted_times: bool = False,
+    ) -> None:
+        """Deliver a batch of external events to a source operator.
+
+        For event-time jobs the given logical times are kept; for
+        ingestion-time jobs the logical time of every event is the arrival
+        instant (§4.3).  ``sorted_times`` asserts the given logical times
+        are non-decreasing, enabling endpoint min/max on the hot path.
+        """
+        now = self.sim.now
+        cached = self._ingest_cache.get((job_name, stage_name, source_index))
+        if cached is None:
+            job = self._jobs[job_name]
+            src_rt = self._ops[OpAddress(job_name, stage_name, source_index)]
+            key = client_key(job_name, stage_name, source_index)
+            converter = self._client_converters[key] if self._contexts else None
+            channel = self.channels.channel(key, src_rt.address)
+            cached = (
+                job,
+                src_rt,
+                key,
+                converter,
+                channel,
+                src_rt.channel_index_of(key),
+                # clients are remote machines (node id -1 never matches)
+                self._delay_model.delay(-1, src_rt.node_id)
+                if self._static_delay
+                else None,
+            )
+            self._ingest_cache[(job_name, stage_name, source_index)] = cached
+        job, src_rt, key, converter, channel, channel_index, transit = cached
+        count = len(logical_times)
+        if job.time_domain == "ingestion":
+            logical_times = np.full(count, now)
+            sorted_times = True  # constant logical times
+        batch = EventBatch(
+            logical_times, values, keys, arrival_time=now, source_id=source_index,
+            times_sorted=sorted_times,
+        )
+        progress = batch.max_logical_time
+        pc = None
+        if converter is not None:
+            pc = converter.build(
+                p=progress,
+                t=now,
+                now=now,
+                target_stage=stage_name,
+                target_window=src_rt.stage.window,
+                tuple_count=count,
+                at_source=True,
+            )
+        msg = Message(
+            target=src_rt.address,
+            batch=batch,
+            p=progress,
+            t=now,
+            deps_arrival=now,
+            sender=key,
+            pc=pc,
+            channel_index=channel_index,
+        )
+        src_rt.job_metrics.tuples_ingested += count
+        if transit is None:
+            # clients are remote machines (node id -1 never matches a node)
+            transit = self._delay_model.delay(-1, src_rt.node_id)
+        arrival = channel.deliver_time(now, transit)
+        self.sim.schedule_at_fast(arrival, self.deliver, src_rt, msg, None)
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+
+    def deliver(
+        self, op_rt: OperatorRuntime, msg: Message, producer: Optional[Worker]
+    ) -> None:
+        if op_rt.is_source:
+            capacity = self._capacity
+            if capacity is not None and (
+                op_rt.blocked or len(op_rt.mailbox) >= capacity
+            ):
+                # ingestion back-pressure: hold the message in arrival order
+                # until the source's mailbox drains below capacity
+                op_rt.blocked.append(msg)
+                op_rt.job_metrics.backpressure_events += 1
+                return
+            msg.enqueue_time = self.sim.now
+            op_rt.mailbox.push(msg)
+            job_metrics = op_rt.job_metrics
+            size = len(op_rt.mailbox)
+            if size > job_metrics.max_source_mailbox:
+                job_metrics.max_source_mailbox = size
+        else:
+            msg.enqueue_time = self.sim.now
+            op_rt.mailbox.push(msg)
+        node = self._nodes[op_rt.node_id]
+        hint = None
+        if producer is not None and producer.node_id == op_rt.node_id:
+            hint = producer.local_id
+        node.run_queue.notify(op_rt, self.sim.now, hint)
+        node.wake_idle_worker()
+
+    # ------------------------------------------------------------------
+    # emission routing
+    # ------------------------------------------------------------------
+
+    def route_emissions(
+        self,
+        src_rt: OperatorRuntime,
+        trigger: Message,
+        emissions: list[Emission],
+        worker: Worker,
+    ) -> None:
+        for route in src_rt.routes:
+            links = route.links
+            if route.key_partitioned and len(links) > 1:
+                parallelism = len(links)
+                if parallelism == 2:
+                    for emission in emissions:
+                        batch = emission.batch
+                        mask = batch.keys % 2 == 0
+                        self._send(
+                            src_rt, links[0], batch.select(mask),
+                            emission, trigger, worker,
+                        )
+                        self._send(
+                            src_rt, links[1], batch.select(~mask),
+                            emission, trigger, worker,
+                        )
+                    continue
+                for emission in emissions:
+                    partition = emission.batch.keys % parallelism
+                    for j, link in enumerate(links):
+                        sub = emission.batch.select(partition == j)
+                        self._send(src_rt, link, sub, emission, trigger, worker)
+            else:
+                for emission in emissions:
+                    for link in links:
+                        self._send(
+                            src_rt, link, emission.batch, emission, trigger, worker
+                        )
+
+    def _send(
+        self,
+        src_rt: OperatorRuntime,
+        link: tuple,
+        batch: EventBatch,
+        emission: Emission,
+        trigger: Message,
+        worker: Worker,
+    ) -> None:
+        dst_rt, channel, channel_index, transit = link
+        if len(batch) == 0 and not dst_rt.stage.is_windowed:
+            # only windowed operators consume progress heartbeats
+            return
+        now = self.sim.now
+        pc: Optional[PriorityContext] = None
+        converter = src_rt.converter
+        if self._contexts and converter is not None:
+            pc = converter.build(
+                p=emission.progress,
+                t=emission.arrival,
+                now=now,
+                target_stage=dst_rt.stage_name,
+                target_window=dst_rt.stage.window,
+                tuple_count=len(batch),
+                inherited=trigger.pc,
+                at_source=False,
+            )
+        out = Message(
+            target=dst_rt.address,
+            batch=batch,
+            p=emission.progress,
+            t=emission.arrival,
+            deps_arrival=emission.arrival,
+            sender=src_rt.address,
+            pc=pc,
+            channel_index=channel_index,
+        )
+        if transit is None:
+            transit = self._delay_model.delay(src_rt.node_id, dst_rt.node_id)
+        arrival = channel.deliver_time(now, transit)
+        self.sim.schedule_at_fast(arrival, self.deliver, dst_rt, out, worker)
+
+    # ------------------------------------------------------------------
+    # reply contexts
+    # ------------------------------------------------------------------
+
+    def send_reply(self, op_rt: OperatorRuntime, msg: Message) -> None:
+        """PREPAREREPLY at ``op_rt`` → PROCESSCTXFROMREPLY at the sender.
+
+        Acknowledgements carry no data and execute no operator logic, so
+        they bypass the run queue; they still pay the network delay
+        (Fig. 5a steps 5-6)."""
+        if msg.kind is not MessageKind.DATA or msg.sender is None:
+            return
+        if op_rt.converter is None:
+            return
+        rc = op_rt.converter.prepare_reply(self._profiler.estimate(op_rt.address))
+        rc.mailbox_size = len(op_rt.mailbox)
+        enqueue_time = msg.enqueue_time
+        if enqueue_time == enqueue_time:  # not NaN
+            rc.queueing_delay = max(0.0, self.sim.now - enqueue_time)
+        self.metrics.total_acks += 1
+        sender = msg.sender
+        route = op_rt.reply_cache.get(sender)
+        if route is None:
+            if isinstance(sender, tuple) and sender and sender[0] == "client":
+                # clients are remote machines (node id -1 never matches)
+                converter, dst_node = self._client_converters.get(sender), -1
+            else:
+                sender_rt = self._ops[sender]
+                converter, dst_node = sender_rt.converter, sender_rt.node_id
+            transit = (
+                self._delay_model.delay(op_rt.node_id, dst_node)
+                if self._static_delay
+                else None
+            )
+            route = (converter, dst_node, transit)
+            op_rt.reply_cache[sender] = route
+        converter, dst_node, delay = route
+        if delay is None:
+            # jittered transit: drawn per reply, and always drawn before the
+            # converter check so the RNG stream is independent of wiring
+            delay = self._delay_model.delay(op_rt.node_id, dst_node)
+        if converter is None:
+            return
+        self.sim.schedule_fast(delay, converter.process_reply, op_rt.stage_name, rc)
+
+    # ------------------------------------------------------------------
+    # reconfiguration support
+    # ------------------------------------------------------------------
+
+    def rewire(self, op_rt: OperatorRuntime) -> None:
+        """Rebuild every placement-dependent cache after ``op_rt`` moved.
+
+        Migration changes ``op_rt.node_id``, which invalidates three kinds
+        of pre-resolved state: the operator's own out-links (transit is
+        computed from its node), every upstream link that targets it, and
+        reply routes in either direction.  Channels themselves are keyed by
+        address, not node, so per-channel FIFO order survives the move —
+        in-flight messages keep their already-sampled transit (they were
+        on the wire when the operator moved) and deliver to the operator's
+        new mailbox on arrival.
+        """
+        address = op_rt.address
+        self._builder.resolve_links(op_rt)
+        op_rt.reply_cache.clear()
+        for other in self._ops.values():
+            if other is op_rt:
+                continue
+            other.reply_cache.pop(address, None)
+            for route in other.routes:
+                if any(link[0] is op_rt for link in route.links):
+                    self._builder.resolve_links(other)
+                    break
+        # source migration: the ingest fast path caches a transit computed
+        # from the old placement (clients are always remote, so the value
+        # is unchanged today — dropped anyway so the invariant is "caches
+        # never outlive the placement they were computed from")
+        self._ingest_cache.pop((address.job, address.stage, address.index), None)

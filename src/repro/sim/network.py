@@ -9,7 +9,6 @@ delivered no earlier than any message handed to it before.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.context import MIN_PRIORITY, PriorityContext
 from repro.core.policies import (
     ConstantPolicy,
     EarliestDeadlineFirstPolicy,

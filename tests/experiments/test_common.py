@@ -1,7 +1,5 @@
 """Tests for the shared experiment harness."""
 
-import pytest
-
 from repro.experiments.common import ExperimentResult, TenantMix, group_row, run_tenant_mix
 
 

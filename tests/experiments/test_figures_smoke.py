@@ -7,8 +7,6 @@ end at toy scale and produces structurally sound results.
 
 import math
 
-import pytest
-
 from repro.experiments import (
     run_fig01,
     run_fig02,
@@ -112,4 +110,18 @@ def test_ext_elasticity_smoke():
     assert len(result.rows) == 3
     assert result.extras["fifo reactive"]["worker_seconds"] >= (
         result.extras["fifo static"]["worker_seconds"]
+    )
+
+
+def test_ext_migration_smoke():
+    from repro.experiments import run_ext_migration
+
+    result = run_ext_migration(duration=12.0)
+    assert len(result.rows) == 4
+    # static variants never migrate; migrate variants move the whole hot job
+    assert result.extras["fifo static"]["migrations"] == 0
+    assert result.extras["fifo migrate"]["migrations"] > 0
+    # migration must not hurt fifo's post-move tail
+    assert result.extras["fifo migrate"]["post_p99"] <= (
+        result.extras["fifo static"]["post_p99"]
     )

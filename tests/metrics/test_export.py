@@ -1,8 +1,6 @@
 """Unit tests for JSON/CSV export."""
 
 import json
-import math
-
 import pytest
 
 from repro.experiments.common import ExperimentResult

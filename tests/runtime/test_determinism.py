@@ -14,6 +14,13 @@ import pytest
 
 from repro.dataflow.messages import reset_message_ids
 from repro.experiments.common import TenantMix, run_tenant_mix
+from repro.runtime.config import EngineConfig
+from repro.runtime.engine import StreamEngine
+from repro.workloads.arrivals import FixedBatchSize, PeriodicArrivals, drive_all_sources
+from repro.workloads.tenants import (
+    make_bulk_analytics_job,
+    make_latency_sensitive_job,
+)
 
 
 def _completion_log(scheduler: str):
@@ -38,6 +45,45 @@ def _completion_log(scheduler: str):
 def test_same_seed_reruns_are_bit_identical(scheduler):
     first = _completion_log(scheduler)
     second = _completion_log(scheduler)
+    assert len(first) > 100, "workload should actually process messages"
+    assert first == second
+
+
+def _reconfigured_log(scheduler: str):
+    """Completion log of a run that migrates and rescales mid-flight.
+
+    Dynamic reconfiguration goes through the public lifecycle API and must
+    be exactly as deterministic as a static run: migration drains mailboxes
+    in pop order and rescaling spawns/retires workers at a fixed simulation
+    instant, so none of it may depend on wall clock or hash order.
+    """
+    reset_message_ids()
+    ls = make_latency_sensitive_job("ls0", source_count=2, latency_constraint=0.4)
+    ba = make_bulk_analytics_job("ba0", source_count=2)
+    engine = StreamEngine(
+        EngineConfig(scheduler=scheduler, nodes=2, workers_per_node=2,
+                     placement="single_node", seed=7,
+                     record_completion_timeline=True),
+        [ls, ba],
+    )
+    for job, period in ((ls, 1 / 120.0), (ba, 1 / 40.0)):
+        drive_all_sources(engine, job, lambda s, i: PeriodicArrivals(period),
+                          sizer=FixedBatchSize(400), until=3.0)
+    agg = next(op.address for op in engine.operator_runtimes
+               if op.address.job == "ls0" and op.stage.name == "agg1")
+    engine.sim.schedule_at(1.0, engine.lifecycle.migrate, agg, 1)
+    engine.sim.schedule_at(1.5, engine.lifecycle.rescale, 1, 4)
+    engine.sim.schedule_at(2.5, engine.lifecycle.rescale, 1, 2)
+    engine.run(until=4.0)
+    assert engine.operator_runtime(agg).node_id == 1
+    return engine.metrics.completion_log
+
+
+@pytest.mark.parametrize("scheduler", ["cameo", "fifo", "orleans"])
+def test_reconfigured_runs_are_bit_identical(scheduler):
+    """Mid-run migrate + rescale must not break same-seed reproducibility."""
+    first = _reconfigured_log(scheduler)
+    second = _reconfigured_log(scheduler)
     assert len(first) > 100, "workload should actually process messages"
     assert first == second
 

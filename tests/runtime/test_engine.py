@@ -1,6 +1,5 @@
 """Integration tests for StreamEngine: correctness, determinism, accounting."""
 
-import numpy as np
 import pytest
 
 from repro.dataflow.graph import CostModel, DataflowGraph, StageSpec
@@ -57,10 +56,6 @@ class TestEndToEnd:
                                            workers_per_node=2), [job])
         ingest_window_data(engine, job, values_per_window=5, windows=3)
         engine.run(until=10.0)
-        sink = engine.operator_runtime(
-            next(a for a in [op.address for op in engine.operator_runtimes]
-                 if a.stage == "sink")
-        )
         metrics = engine.metrics.job(job.name)
         assert metrics.output_count == 3
         # each window holds 5 tuples x 2 sources x value 1.0 = 10.0
@@ -345,7 +340,6 @@ class TestIngestionBackpressure:
 
     def test_capacity_bounds_source_mailbox(self):
         engine = self.overloaded_engine(capacity=8)
-        capacity_seen = []
         source = next(op for op in engine.operator_runtimes
                       if op.stage.name == "source")
         engine.sim.run(until=3.0)

@@ -1,9 +1,11 @@
-"""Unit tests for operator placement strategies."""
+"""Unit and property tests for operator placement strategies."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.dataflow.operators import OpAddress
-from repro.runtime.placement import Placement
+from repro.runtime.placement import PLACEMENTS, Placement
 
 
 def addresses(jobs=("a", "b"), stages=("s1", "s2"), parallelism=2):
@@ -51,6 +53,59 @@ class TestSingleNode:
     def test_everything_on_node_zero(self):
         assignment = Placement("single_node", 5).assign(addresses())
         assert set(assignment.values()) == {0}
+
+
+_job_names = st.text(alphabet="abcdefgh", min_size=1, max_size=4)
+_address_lists = st.lists(
+    st.builds(
+        OpAddress,
+        _job_names,
+        st.sampled_from(["source", "agg0", "agg1", "sink"]),
+        st.integers(min_value=0, max_value=7),
+    ),
+    max_size=40,
+    unique=True,
+)
+
+
+class TestPlacementProperties:
+    """Invariants every strategy must hold for arbitrary clusters."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        strategy=st.sampled_from(PLACEMENTS),
+        node_count=st.integers(min_value=1, max_value=64),
+        addrs=_address_lists,
+    )
+    def test_every_address_maps_to_a_valid_node(self, strategy, node_count, addrs):
+        assignment = Placement(strategy, node_count).assign(addrs)
+        assert set(assignment) == set(addrs)
+        assert all(0 <= node < node_count for node in assignment.values())
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        strategy=st.sampled_from(PLACEMENTS),
+        node_count=st.integers(min_value=1, max_value=64),
+        addrs=_address_lists,
+    )
+    def test_assignment_is_a_pure_function_of_input_order(
+        self, strategy, node_count, addrs
+    ):
+        placement = Placement(strategy, node_count)
+        assert placement.assign(addrs) == placement.assign(list(addrs))
+
+    @settings(max_examples=200, deadline=None)
+    @given(node_count=st.integers(min_value=1, max_value=64), addrs=_address_lists)
+    def test_pack_by_job_co_locates_jobs(self, node_count, addrs):
+        assignment = Placement("pack_by_job", node_count).assign(addrs)
+        job_nodes: dict[str, set[int]] = {}
+        for address, node in assignment.items():
+            job_nodes.setdefault(address.job, set()).add(node)
+        # each job occupies exactly one node...
+        assert all(len(nodes) == 1 for nodes in job_nodes.values())
+        # ...and jobs spread over distinct nodes until the cluster is full
+        distinct = {next(iter(nodes)) for nodes in job_nodes.values()}
+        assert len(distinct) == min(len(job_nodes), node_count)
 
 
 class TestValidation:

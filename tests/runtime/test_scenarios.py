@@ -1,7 +1,6 @@
 """Scenario-level integration tests: time domains, sliding windows,
 noise injection, semantics ablation, violation accounting."""
 
-import numpy as np
 import pytest
 
 from repro.dataflow.graph import CostModel, DataflowGraph, StageSpec

@@ -1,7 +1,5 @@
 """Tests for the command-line figure runner."""
 
-import pathlib
-
 import pytest
 
 from repro import cli
@@ -45,3 +43,60 @@ def test_out_json_writes_json(tmp_path, capsys):
     payload = json.loads((tmp_path / "fig02.json").read_text())
     assert payload["name"] == "fig02"
     assert payload["rows"]
+
+
+class TestTopologySubcommand:
+    """`repro topology` dumps the TopologyBuilder's wiring plan as JSON."""
+
+    ARGS = ["topology", "--ls", "1", "--ba", "1", "--nodes", "2",
+            "--placement", "round_robin"]
+
+    def _dump(self, capsys):
+        import json
+
+        assert cli.main(list(self.ARGS)) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_dump_shape(self, capsys):
+        dump = self._dump(capsys)
+        assert set(dump) == {"operators", "placements", "channels",
+                             "reply_routes", "contexts_enabled"}
+        assert dump["contexts_enabled"] is True
+        operators = dump["operators"]
+        assert operators, "plan must list operators"
+        entry = operators[0]
+        for field in ("address", "job", "stage", "index", "kind", "node",
+                      "built_on_node", "migrations", "is_source", "is_sink",
+                      "has_converter", "input_channels"):
+            assert field in entry, field
+
+    def test_placements_cover_every_operator(self, capsys):
+        dump = self._dump(capsys)
+        placements = dump["placements"]
+        assert set(placements) == {o["address"] for o in dump["operators"]}
+        assert all(0 <= node < 2 for node in placements.values())
+        # round-robin over two nodes uses both
+        assert set(placements.values()) == {0, 1}
+
+    def test_channels_connect_known_operators(self, capsys):
+        dump = self._dump(capsys)
+        known = {o["address"] for o in dump["operators"]}
+        for channel in dump["channels"]:
+            assert channel["dst"] in known
+            src = channel["src"]
+            assert src in known or src.startswith("client:")
+
+    def test_dump_is_deterministic(self, capsys):
+        assert self._dump(capsys) == self._dump(capsys)
+
+    def test_out_writes_file(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "plan.json"
+        assert cli.main(list(self.ARGS) + ["--out", str(target)]) == 0
+        capsys.readouterr()
+        assert json.loads(target.read_text())["operators"]
+
+    def test_rejects_empty_mix(self):
+        with pytest.raises(SystemExit):
+            cli.main(["topology", "--ls", "0", "--ba", "0"])

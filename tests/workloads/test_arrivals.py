@@ -137,8 +137,8 @@ class TestSourceDriver:
 
     def test_phase_shifts_logical_times(self):
         engine, job = self.make_engine()
-        driver = SourceDriver(engine, job, PeriodicArrivals(1.0),
-                              sizer=FixedBatchSize(1), phase=0.25, until=2.0).install()
+        SourceDriver(engine, job, PeriodicArrivals(1.0),
+                     sizer=FixedBatchSize(1), phase=0.25, until=2.0).install()
         engine.run(until=3.0)
         # progress observed at the source operator reflects the phase
         src = next(op for op in engine.operator_runtimes
