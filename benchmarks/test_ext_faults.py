@@ -1,0 +1,54 @@
+"""Extension — deadline success and recovery under crashes + lossy links."""
+
+from conftest import run_once
+
+from repro.experiments import run_ext_faults
+
+
+def test_ext_faults(benchmark, archive):
+    result = run_once(benchmark, run_ext_faults)
+    archive(result)
+    extras = result.extras
+    shed = extras["cameo + shedding"]
+    plain = extras["cameo"]
+    fifo = extras["fifo"]
+    orleans = extras["orleans"]
+    clean = extras["cameo (no faults)"]
+
+    # the headline claim: deadline-aware shedding keeps Cameo >= 90% LS
+    # deadline success through a double crash + 2% loss + delay spike...
+    assert shed["success"] >= 0.90
+    # ...and recovers the SLO essentially instantly (expired work is
+    # dropped instead of executed late)
+    assert shed["recovery"] <= 0.5
+    assert shed["fault_report"]["messages_shed"] > 0
+
+    # plain cameo meets the same deadlines it can still meet, but burns
+    # workers on doomed messages: slower recovery, fatter tail
+    assert plain["success"] >= 0.90
+    assert plain["recovery"] > 2.0
+    assert plain["p99"] > 2.0 * shed["p99"]
+    assert plain["fault_report"]["messages_shed"] == 0
+
+    # the baselines cannot reprioritise around the backlog: FIFO degrades
+    # well below the 90% bar, Orleans collapses
+    assert fifo["success"] < 0.80
+    assert orleans["success"] < 0.20
+    assert fifo["recovery"] > shed["recovery"] + 2.0
+
+    # fault-free anchor: full success, zero fault machinery engaged
+    assert clean["success"] == 1.0
+    report = clean["fault_report"]
+    assert report["crashes"] == 0 and report["retransmissions"] == 0
+
+    # recovery mechanics actually exercised under every faulted variant
+    for label in ("cameo + shedding", "cameo", "orleans", "fifo"):
+        report = extras[label]["fault_report"]
+        assert report["crashes"] == 2 and report["node_restarts"] == 2
+        assert report["failure_detections"] == 2
+        assert 0 < report["mean_detection_latency"] <= 0.25
+        assert report["retransmissions"] > 0
+        # the timeline recorded the whole arc for both crashes
+        kinds = [k for _, k, _ in extras[label]["timeline"]]
+        assert kinds.count("crash") == 2 and kinds.count("restart") == 2
+        assert kinds.count("failover") == 2

@@ -8,12 +8,15 @@ Usage::
     python -m repro.cli all
     python -m repro.cli bench --label pr2 --compare BENCH_seed.json
     python -m repro.cli topology --ls 2 --ba 1 --nodes 2
+    python -m repro.cli faults --scheduler cameo --shed
 
 Each figure runs with its benchmark defaults and prints the same table the
 corresponding ``benchmarks/test_figNN_*.py`` archives.  ``bench`` runs the
 hot-path benchmark-regression harness (see :mod:`repro.bench`).
 ``topology`` builds an engine for a tenant mix and dumps the wiring plan
-(operators, placements, channels, reply routes) as JSON.
+(operators, placements, channels, reply routes) as JSON.  ``faults`` drives
+a mix through the canonical crash+loss schedule (see
+:mod:`repro.sim.faults`) and dumps the fault/recovery counters.
 """
 
 from __future__ import annotations
@@ -48,6 +51,7 @@ RUNNERS = {
     "ext_backpressure": experiments.run_ext_backpressure,
     "ext_elasticity": experiments.run_ext_elasticity,
     "ext_migration": experiments.run_ext_migration,
+    "ext_faults": experiments.run_ext_faults,
 }
 
 
@@ -99,6 +103,75 @@ def topology_main(argv: list[str]) -> int:
     return 0
 
 
+def faults_main(argv: list[str]) -> int:
+    """Run a tenant mix under the canonical fault schedule and dump the
+    fault/recovery counters plus the injected-fault timeline as JSON."""
+    from repro.experiments.ext_faults import make_fault_schedule
+    from repro.runtime.config import EngineConfig
+    from repro.runtime.engine import StreamEngine
+    from repro.workloads.arrivals import (
+        FixedBatchSize,
+        PeriodicArrivals,
+        drive_all_sources,
+    )
+    from repro.workloads.tenants import (
+        make_bulk_analytics_job,
+        make_latency_sensitive_job,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli faults",
+        description="Drive a tenant mix through the deterministic crash+loss "
+                    "schedule and report fault/recovery counters.",
+    )
+    parser.add_argument("--ls", type=int, default=2,
+                        help="latency-sensitive job count (default 2)")
+    parser.add_argument("--ba", type=int, default=1,
+                        help="bulk-analytics job count (default 1)")
+    parser.add_argument("--nodes", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="workers per node (default 2)")
+    parser.add_argument("--scheduler", default="cameo",
+                        choices=["cameo", "fifo", "orleans"])
+    parser.add_argument("--duration", type=float, default=30.0,
+                        help="driven seconds (default 30; +5s drain)")
+    parser.add_argument("--seed", type=int, default=4)
+    parser.add_argument("--shed", action="store_true",
+                        help="enable deadline-aware load shedding")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="also write the JSON report to FILE")
+    args = parser.parse_args(argv)
+
+    jobs = [make_latency_sensitive_job(f"ls{i}") for i in range(args.ls)]
+    jobs += [make_bulk_analytics_job(f"ba{i}") for i in range(args.ba)]
+    if not jobs:
+        parser.error("need at least one job (--ls/--ba)")
+    schedule = make_fault_schedule(args.duration)
+    engine = StreamEngine(
+        EngineConfig(scheduler=args.scheduler, nodes=args.nodes,
+                     workers_per_node=args.workers, seed=args.seed,
+                     fault_schedule=schedule, shed_expired=args.shed),
+        jobs,
+    )
+    for job in jobs:
+        rate = 1.0 if job.group == "LS" else 1 / 3.0
+        drive_all_sources(engine, job, lambda s, i, r=rate: PeriodicArrivals(r),
+                          sizer=FixedBatchSize(1000), until=args.duration)
+    engine.run(until=args.duration + 5.0)
+    report = {
+        "scheduler": args.scheduler,
+        "shed_expired": args.shed,
+        "fault_report": engine.metrics.fault_report(),
+        "detection_latencies": engine.metrics.detection_latencies(),
+        "timeline": list(engine.fault_timeline.events),
+    }
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        pathlib.Path(args.out).write_text(text + "\n")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -108,6 +181,8 @@ def main(argv: list[str] | None = None) -> int:
         return bench_main(argv[1:])
     if argv and argv[0] == "topology":
         return topology_main(argv[1:])
+    if argv and argv[0] == "faults":
+        return faults_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.cli",
         description="Regenerate figures from the Cameo (NSDI 2021) reproduction.",

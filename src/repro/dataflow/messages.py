@@ -59,6 +59,8 @@ class Message:
         "channel_index",
         "msg_id",
         "enqueue_time",
+        "seq",
+        "retries",
     )
 
     def __init__(
@@ -88,6 +90,12 @@ class Message:
         self.channel_index = channel_index
         self.msg_id = next(_message_ids) if msg_id is None else msg_id
         self.enqueue_time = enqueue_time
+        # reliable-delivery fields, assigned (not constructor args) to keep
+        # the fault-free construction path unchanged: per-channel sequence
+        # number (-1 = not under reliable delivery) and execution retries
+        # consumed by injected operator exceptions
+        self.seq = -1
+        self.retries = 0
 
     @property
     def tuple_count(self) -> int:

@@ -41,6 +41,10 @@ class JobMetrics:
         self.backpressure_events = 0  # client messages held by back-pressure
         self.max_source_mailbox = 0   # memory-pressure proxy
         self.messages_processed = 0
+        self.messages_shed = 0      # deadline-expired messages dropped unexecuted
+        self.tuples_shed = 0        # event tuples carried by shed messages
+        self.operator_exceptions = 0  # injected execution failures (incl. retries)
+        self.poison_dropped = 0     # messages dropped after exhausting retries
         self.tuples_ingested = 0
         self.tuples_processed = 0  # tuples consumed at source operators
         self.source_events: list[tuple[float, int]] = []  # (time, tuples)
@@ -175,6 +179,17 @@ class MetricsHub:
         self.worker_busy: dict[tuple[int, int], float] = {}
         self.total_messages = 0
         self.total_acks = 0
+        # -- fault & recovery counters (stay zero on fault-free runs) -----
+        self.messages_lost_network = 0  # data transmissions dropped by loss models
+        self.messages_lost_crash = 0    # queued messages lost to node crashes
+        self.messages_dropped_down = 0  # arrivals at a down node (evaporated)
+        self.retransmissions = 0        # go-back-N replays by reliable delivery
+        self.duplicates_dropped = 0     # retransmitted copies deduplicated
+        self.acks_lost = 0              # delivery-layer acks dropped by loss
+        self.crashes = 0                # fail-stop events executed
+        self.node_restarts = 0          # nodes brought back up
+        #: (node_id, crash_time, detection_time) per declared failure
+        self.failure_detections: list[tuple[int, float, float]] = []
 
     def record_timeline_point(
         self, time: float, job: str, stage: str, operator_index: int, progress: float
@@ -239,6 +254,42 @@ class MetricsHub:
 
     def group_throughput(self, group: str, duration: float) -> float:
         return sum(j.throughput(duration) for j in self.jobs_in_group(group))
+
+    def detection_latencies(self) -> list[float]:
+        """Seconds from each crash to its failure declaration."""
+        return [det - crash for _, crash, det in self.failure_detections]
+
+    def mean_detection_latency(self) -> float:
+        latencies = self.detection_latencies()
+        return float(np.mean(latencies)) if latencies else float("nan")
+
+    def shed_totals(self) -> tuple[int, int]:
+        """(messages, tuples) shed across all jobs."""
+        messages = sum(j.messages_shed for j in self._jobs.values())
+        tuples = sum(j.tuples_shed for j in self._jobs.values())
+        return messages, tuples
+
+    def fault_report(self) -> dict:
+        """Fault/recovery counters as one JSON-able dict (``repro faults``)."""
+        shed_messages, shed_tuples = self.shed_totals()
+        return {
+            "crashes": self.crashes,
+            "node_restarts": self.node_restarts,
+            "failure_detections": len(self.failure_detections),
+            "mean_detection_latency": self.mean_detection_latency(),
+            "messages_lost_network": self.messages_lost_network,
+            "messages_lost_crash": self.messages_lost_crash,
+            "messages_dropped_down": self.messages_dropped_down,
+            "retransmissions": self.retransmissions,
+            "duplicates_dropped": self.duplicates_dropped,
+            "acks_lost": self.acks_lost,
+            "messages_shed": shed_messages,
+            "tuples_shed": shed_tuples,
+            "operator_exceptions": sum(
+                j.operator_exceptions for j in self._jobs.values()
+            ),
+            "poison_dropped": sum(j.poison_dropped for j in self._jobs.values()),
+        }
 
     def record_worker_busy(self, node_id: int, worker_id: int, busy_time: float) -> None:
         self.worker_busy[(node_id, worker_id)] = busy_time

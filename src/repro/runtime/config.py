@@ -8,7 +8,10 @@ policy, quantum (§5.2), cluster shape, network delays, profiling noise
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (keep sim/ import lazy)
+    from repro.sim.faults import FaultSchedule
 
 SCHEDULERS = ("cameo", "orleans", "fifo")
 POLICIES = ("llf", "edf", "sjf", "constant", "token")
@@ -58,6 +61,22 @@ class EngineConfig:
             source operator.  When full, further client messages wait in an
             order-preserving blocked queue (ingestion back-pressure) instead
             of growing the mailbox without bound.  None = unbounded.
+        fault_schedule: optional :class:`~repro.sim.faults.FaultSchedule`.
+            ``None`` or an empty schedule installs no fault machinery at
+            all, keeping fault-free runs bit-identical; a non-empty schedule
+            enables reliable delivery (ack/retransmit), heartbeat failure
+            detection and crash fail-over (see ``runtime/recovery.py``).
+        heartbeat_interval / failure_timeout: failure-detection cadence — a
+            node silent for ``failure_timeout`` is declared dead (detection
+            latency is bounded by ``failure_timeout + heartbeat_interval``).
+        retransmit_timeout / retransmit_backoff_cap: initial retransmission
+            timer and the cap of its exponential backoff.
+        shed_expired: enable deadline-aware load shedding — messages whose
+            priority-context start deadline ``ddl_M`` is already unmeetable
+            are dropped at pop time instead of executed (Cameo-only
+            graceful degradation; FIFO/Orleans carry no deadlines to shed
+            by, so the knob has no effect without contexts).
+        shed_slack: lateness tolerated before shedding (seconds).
     """
 
     scheduler: str = "cameo"
@@ -80,6 +99,13 @@ class EngineConfig:
     switch_cost: float = 0.0
     starvation_aging: float = 0.0
     source_mailbox_capacity: Optional[int] = None
+    fault_schedule: Optional["FaultSchedule"] = None
+    heartbeat_interval: float = 0.05
+    failure_timeout: float = 0.2
+    retransmit_timeout: float = 0.05
+    retransmit_backoff_cap: float = 0.8
+    shed_expired: bool = False
+    shed_slack: float = 0.0
     seed: int = 0
 
     def __post_init__(self):
@@ -103,6 +129,18 @@ class EngineConfig:
             raise ValueError("starvation aging must be non-negative")
         if self.source_mailbox_capacity is not None and self.source_mailbox_capacity < 1:
             raise ValueError("source mailbox capacity must be >= 1")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if self.failure_timeout < self.heartbeat_interval:
+            raise ValueError("failure timeout must be >= heartbeat interval")
+        if self.retransmit_timeout <= 0:
+            raise ValueError("retransmit timeout must be positive")
+        if self.retransmit_backoff_cap < self.retransmit_timeout:
+            raise ValueError("retransmit backoff cap must be >= the timeout")
+        if self.shed_slack < 0:
+            raise ValueError("shedding slack must be non-negative")
+        if self.fault_schedule is not None:
+            self.fault_schedule.validate_cluster(self.nodes)
 
     @property
     def contexts_enabled(self) -> bool:

@@ -27,12 +27,14 @@ from typing import Optional
 
 from repro.core.policies import make_policy
 from repro.core.profiler import CostProfiler, GaussianNoiseInjector
+from repro.core.shedding import DeadlineShedder
 from repro.dataflow.jobs import JobSpec
 from repro.dataflow.operators import OpAddress
 from repro.metrics.collectors import MetricsHub
 from repro.runtime.config import EngineConfig
 from repro.runtime.lifecycle import OperatorLifecycle
 from repro.runtime.node import NodeRuntime, make_run_queue
+from repro.runtime.recovery import RecoveryManager, ReliableDelivery
 from repro.runtime.topology import (  # noqa: F401  (compat re-exports)
     OperatorRuntime,
     Route,
@@ -41,6 +43,7 @@ from repro.runtime.topology import (  # noqa: F401  (compat re-exports)
 )
 from repro.runtime.transport import Transport
 from repro.runtime.workers import Worker
+from repro.sim.faults import FaultInjector, FaultTimeline
 from repro.sim.kernel import Simulator
 from repro.sim.network import ChannelTable, ConstantDelay, JitteredDelay
 from repro.sim.rng import RngRegistry
@@ -104,15 +107,48 @@ class StreamEngine:
             self._delay_model, static_delay, self.metrics, self.profiler,
             config, builder,
         )
+        # fault machinery: installed only for a non-empty schedule, so
+        # fault-free runs stay bit-identical to runs without any schedule
+        # (faults draw from their own named RNG substream, so even the
+        # streams other components see are unchanged)
+        schedule = config.fault_schedule
+        self.fault_timeline: Optional[FaultTimeline] = None
+        self.reliable: Optional[ReliableDelivery] = None
+        self.recovery: Optional[RecoveryManager] = None
+        self.fault_injector: Optional[FaultInjector] = None
+        if schedule is not None and schedule.enabled:
+            self.fault_timeline = FaultTimeline()
+            self.fault_injector = FaultInjector(
+                schedule, self.rng.stream("faults"), clock
+            )
+            nodes = self.nodes
+            self.reliable = ReliableDelivery(
+                self.sim, self.metrics, self.fault_injector, self._delay_model,
+                node_down=lambda node_id: nodes[node_id].down,
+                rto=config.retransmit_timeout,
+                rto_cap=config.retransmit_backoff_cap,
+            )
+            self.reliable.attach(self.transport.deliver)
+            self.transport.attach_reliable(self.reliable)
+        shedder = DeadlineShedder(config.shed_slack) if config.shed_expired else None
+
         cost_rng = self.rng.stream("exec-cost")
         for node in self.nodes:
             node.bind(self.sim, self.metrics, self.profiler, cost_rng,
-                      config, self.transport)
+                      config, self.transport, faults=self.fault_injector,
+                      reliable=self.reliable, shedder=shedder)
         self.lifecycle = OperatorLifecycle(
             self.sim, self.nodes, self._ops, self.transport
         )
         for node in self.nodes:
             node.attach_lifecycle(self.lifecycle)
+        if self.reliable is not None:
+            self.recovery = RecoveryManager(
+                self.sim, self.nodes, self._ops, self.lifecycle,
+                self.reliable, self.metrics, self.fault_timeline,
+                config.heartbeat_interval, config.failure_timeout,
+            )
+            self.recovery.install(schedule)
 
         for job in jobs:
             self.metrics.register_job(job.name, job.group, job.latency_constraint)

@@ -109,6 +109,27 @@ class OperatorLifecycle:
         self._move(op_rt, dst_node)
         return True
 
+    def evacuate(self, node_id: int, targets: list[int]) -> list[OperatorRuntime]:
+        """Move every operator off ``node_id``, round-robin over ``targets``.
+
+        The crash fail-over primitive: a dead node's operators are respawned
+        on survivors in deterministic registration order.  The source node's
+        mailboxes are empty at this point (crash cleared them), so every
+        move completes immediately.  Returns the moved operators."""
+        if not targets:
+            raise ValueError("evacuation needs at least one target node")
+        moved = []
+        cursor = 0
+        for op_rt in self._ops.values():
+            if op_rt.node_id != node_id:
+                continue
+            op_rt.busy = False  # any in-flight quantum died with the node
+            op_rt.pending_migration = None
+            self.migrate(op_rt, targets[cursor % len(targets)])
+            cursor += 1
+            moved.append(op_rt)
+        return moved
+
     def finish_migration(self, op_rt: OperatorRuntime) -> None:
         """Complete a deferred move; called by the node dispatch loop at
         the release point of an operator with ``pending_migration`` set."""

@@ -53,6 +53,7 @@ class NodeRuntime:
         "workers",
         "sim",
         "metrics",
+        "down",
         "_transport",
         "_lifecycle",
         "_contexts",
@@ -63,6 +64,9 @@ class NodeRuntime:
         "_capacity",
         "_record_timeline",
         "_record_completions",
+        "_faults",
+        "_reliable",
+        "_shedder",
     )
 
     def __init__(self, node_id: int, run_queue: RunQueue):
@@ -71,11 +75,16 @@ class NodeRuntime:
         self.workers: list[Worker] = []
         self.sim = None
         self.metrics = None
+        self.down = False  # fail-stop flag, driven by the RecoveryManager
         self._transport = None
         self._lifecycle = None
 
-    def bind(self, sim, metrics, profiler, cost_rng, config, transport) -> None:
-        """Attach execution-time collaborators and hot-path config caches."""
+    def bind(self, sim, metrics, profiler, cost_rng, config, transport,
+             faults=None, reliable=None, shedder=None) -> None:
+        """Attach execution-time collaborators and hot-path config caches.
+
+        ``faults`` / ``reliable`` / ``shedder`` stay None on fault-free runs
+        with shedding off, keeping the dispatch loop's extra branches dead."""
         self.sim = sim
         self.metrics = metrics
         self._profiler = profiler
@@ -87,6 +96,9 @@ class NodeRuntime:
         self._capacity = config.source_mailbox_capacity
         self._record_timeline = config.record_schedule_timeline
         self._record_completions = config.record_completion_timeline
+        self._faults = faults
+        self._reliable = reliable
+        self._shedder = shedder
 
     def attach_lifecycle(self, lifecycle) -> None:
         self._lifecycle = lifecycle
@@ -133,6 +145,8 @@ class NodeRuntime:
     # ------------------------------------------------------------------
 
     def wake_idle_worker(self) -> None:
+        if self.down:
+            return  # a crashed node schedules no work
         worker = self.idle_worker()
         if worker is not None:
             worker.wake_scheduled = True
@@ -140,7 +154,7 @@ class NodeRuntime:
 
     def _worker_wake(self, worker: Worker) -> None:
         worker.wake_scheduled = False
-        if worker.idle:
+        if worker.idle and not self.down:
             worker.idle = False
             self._worker_next(worker)
 
@@ -176,6 +190,8 @@ class NodeRuntime:
 
     def _start_message(self, worker: Worker, op_rt: OperatorRuntime) -> None:
         """Entry point after a switch-cost delay: run the popped operator."""
+        if worker.current_op is not op_rt:
+            return  # the node crashed during the switch; the quantum died
         if self._run_op(worker, op_rt):
             self._worker_next(worker)
 
@@ -220,6 +236,23 @@ class NodeRuntime:
                     released = op_rt.blocked.popleft()
                     released.enqueue_time = now
                     mailbox.push(released)
+            shedder = self._shedder
+            if shedder is not None:
+                pc_shed = msg.pc
+                if pc_shed is not None and shedder.should_shed(pc_shed, now):
+                    # deadline-aware load shedding: the start deadline is
+                    # already unmeetable, so executing would only delay
+                    # messages that can still make it (see core/shedding.py)
+                    job_metrics.messages_shed += 1
+                    job_metrics.tuples_shed += msg.tuple_count
+                    if self._reliable is not None:
+                        self._reliable.on_processed(op_rt, msg)
+                    if len(mailbox) == 0:
+                        op_rt.busy = False
+                        if op_rt.pending_migration is not None:
+                            self._lifecycle.finish_migration(op_rt)
+                        return True
+                    continue
             enqueue_time = msg.enqueue_time
             if enqueue_time == enqueue_time:  # not NaN
                 queue_stat = op_rt.queue_stat
@@ -269,6 +302,12 @@ class NodeRuntime:
         self, worker: Worker, op_rt: OperatorRuntime, msg: Message, cost: float
     ) -> None:
         """Kernel-event completion path (when inline advance was refused)."""
+        if worker.current_op is not op_rt:
+            # the node crashed while this message was in flight: the quantum
+            # died with it (fail-stop), the worker was already reset, and the
+            # upstream retransmit buffer still holds the message for replay
+            self.metrics.messages_lost_crash += 1
+            return
         self._finish_message(worker, op_rt, msg, cost)
         if len(op_rt.mailbox) == 0:
             op_rt.busy = False
@@ -292,6 +331,22 @@ class NodeRuntime:
         """Everything that happens at a message's completion instant."""
         now = self.sim.now
         worker.busy_time += cost
+        faults = self._faults
+        if faults is not None and faults.throws(op_rt.address):
+            # injected operator exception: the attempt consumed its worker
+            # time and produced nothing; retry by re-enqueue until the
+            # budget is exhausted, then drop as poison
+            job_metrics = op_rt.job_metrics
+            job_metrics.operator_exceptions += 1
+            msg.retries += 1
+            if msg.retries > faults.max_retries(op_rt.address):
+                job_metrics.poison_dropped += 1
+                if self._reliable is not None:
+                    self._reliable.on_processed(op_rt, msg)
+            else:
+                msg.enqueue_time = now
+                op_rt.mailbox.push(msg)
+            return
         worker.messages_executed += 1
         job_metrics = op_rt.job_metrics
         job_metrics.messages_processed += 1
@@ -314,5 +369,9 @@ class NodeRuntime:
             self.metrics.completion_log.append(
                 (now, op_rt.job.name, op_rt.stage_name, op_rt.address.index, msg.msg_id)
             )
+        if self._reliable is not None:
+            # ack on processing completion, not delivery: a crash can then
+            # never silently drop a message that had merely been queued
+            self._reliable.on_processed(op_rt, msg)
         if emissions:
             transport.route_emissions(op_rt, msg, emissions, worker)

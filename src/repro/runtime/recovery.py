@@ -1,0 +1,464 @@
+"""Recovery layer: reliable channels, failure detection, crash fail-over.
+
+This module turns the fault *model* of :mod:`repro.sim.faults` into a
+*survivable* runtime.  Three collaborators, all deterministic (every step
+runs at a simulation instant through the kernel's ordinary scheduling
+primitives, and all randomness comes from the injector's named stream):
+
+* :class:`ReliableDelivery` — per-channel sequence numbers, cumulative
+  acknowledgements and capped-exponential-backoff retransmission over the
+  lossy network.  The receiver side admits messages to operator mailboxes
+  strictly in sequence order (out-of-order arrivals are buffered), so the
+  per-channel FIFO guarantee the PROGRESSMAP regression depends on (§4.3)
+  survives arbitrary loss and retransmission patterns.
+* :class:`FailureDetector` — heartbeat-based: every node deposits a
+  heartbeat each ``interval``; a monitor sweep declares a node failed
+  after ``timeout`` seconds of silence and notices it again once
+  heartbeats resume.
+* :class:`RecoveryManager` — executes the schedule's crash/restart
+  events (fail-stop: mailboxes, back-pressure queues and in-flight
+  executions on the node are lost) and drives fail-over on detection:
+  every operator of the dead node respawns on a surviving node via
+  :meth:`OperatorLifecycle.migrate` (mailbox empty — its contents died
+  with the node) and upstream retransmit buffers replay everything not
+  yet *processed*, rebuilding the lost state.
+
+Fault model honesty: acknowledgements fire on *processing completion*,
+not delivery, so a crash never silently drops a message that had merely
+reached a mailbox.  What we do **not** model is operator *state* loss —
+sender-side retransmit buffers are durable (the classic upstream-backup
+assumption) and windowed aggregation state survives via the migration
+path; checkpointing of operator state is a ROADMAP open item.  Under
+crash recovery, delivery is effectively at-least-once for messages a
+priority mailbox processed out of sequence order (the processed-set
+dedupe removes every other duplicate); without crashes it is exactly-once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.dataflow.messages import Message
+from repro.runtime.topology import OperatorRuntime
+
+
+class _ChannelState:
+    """Both endpoints of one reliable channel (sender and inbox).
+
+    The two ends live in one object because the simulation hosts both,
+    but they exchange information only through delayed, lossy ack events:
+    sender-visible fields (``admitted_w``, ``processed_w``) are updated
+    exclusively by :meth:`ReliableDelivery._on_ack`, never directly from
+    receiver state.
+
+    Invariant: ``unacked`` holds exactly the contiguous sequence range
+    ``(processed_w, next_seq)`` — entries are appended at the top and only
+    a prefix is released by cumulative processed-acks.
+    """
+
+    __slots__ = (
+        "src_rt", "dst_rt", "channel",
+        # -- sender side --
+        "next_seq", "unacked", "admitted_w", "processed_w",
+        "rto", "timer_armed", "timer_epoch",
+        # -- receiver side --
+        "next_admit", "watermark", "processed", "pending",
+    )
+
+    def __init__(self, src_rt: Optional[OperatorRuntime],
+                 dst_rt: OperatorRuntime, channel, rto: float):
+        self.src_rt = src_rt          # None = ingestion client (remote)
+        self.dst_rt = dst_rt
+        self.channel = channel        # FifoChannel: per-channel order clamp
+        self.next_seq = 0
+        self.unacked: dict[int, Message] = {}
+        self.admitted_w = -1          # highest seq the sender knows reached a mailbox
+        self.processed_w = -1         # highest seq the sender knows was processed
+        self.rto = rto
+        self.timer_armed = False
+        self.timer_epoch = 0
+        self.next_admit = 0           # next seq the inbox will admit
+        self.watermark = -1           # cumulative processed (receiver truth)
+        self.processed: set[int] = set()  # processed out of order, > watermark
+        self.pending: dict[int, Message] = {}  # arrived out of order
+
+    @property
+    def src_node(self) -> int:
+        # clients are remote machines (node id -1 never matches a node)
+        return self.src_rt.node_id if self.src_rt is not None else -1
+
+    def needs_retransmit(self) -> bool:
+        """True while some sent message has not reached a mailbox."""
+        return self.next_seq - 1 > self.admitted_w and bool(self.unacked)
+
+
+class ReliableDelivery:
+    """Ack/retransmit channel layer between the transport's endpoints.
+
+    Installed only when the run has a non-empty fault schedule; without it
+    the transport keeps its original fire-and-forget delivery, so
+    zero-fault runs stay bit-identical.
+    """
+
+    def __init__(self, sim, metrics, injector, delay_model,
+                 node_down: Callable[[int], bool],
+                 rto: float, rto_cap: float):
+        if rto <= 0 or rto_cap < rto:
+            raise ValueError("need 0 < rto <= rto_cap")
+        self._sim = sim
+        self._metrics = metrics
+        self._injector = injector
+        self._delay_model = delay_model
+        self._node_down = node_down
+        self._rto_initial = rto
+        self._rto_cap = rto_cap
+        self._states: dict[tuple, _ChannelState] = {}
+        self._admit: Optional[Callable] = None
+
+    def attach(
+        self, admit: Callable[[OperatorRuntime, Message, Optional[object]], None]
+    ) -> None:
+        """Bind the admission callback (the transport's delivery body)."""
+        self._admit = admit
+
+    # ------------------------------------------------------------------
+    # sender side
+    # ------------------------------------------------------------------
+
+    def _state(self, sender_key, src_rt: Optional[OperatorRuntime],
+               dst_rt: OperatorRuntime, channel) -> _ChannelState:
+        key = (sender_key, dst_rt.address)
+        state = self._states.get(key)
+        if state is None:
+            state = _ChannelState(src_rt, dst_rt, channel, self._rto_initial)
+            self._states[key] = state
+        return state
+
+    def send(self, src_rt: Optional[OperatorRuntime], dst_rt: OperatorRuntime,
+             channel, msg: Message) -> None:
+        """Hand one freshly-built message to the reliable channel."""
+        state = self._state(msg.sender, src_rt, dst_rt, channel)
+        msg.seq = state.next_seq
+        state.next_seq += 1
+        state.unacked[msg.seq] = msg
+        self._transmit(state, msg)
+        self._arm_timer(state)
+
+    def _transmit(self, state: _ChannelState, msg: Message) -> None:
+        """One attempt to push ``msg`` over the wire (may be lost)."""
+        sim = self._sim
+        src_node, dst_node = state.src_node, state.dst_rt.node_id
+        transit = self._injector.inflate_transit(
+            self._delay_model.delay(src_node, dst_node)
+        )
+        if self._injector.drops_message(src_node, dst_node):
+            self._metrics.messages_lost_network += 1
+            return
+        arrival = state.channel.deliver_time(sim.now, transit)
+        sim.schedule_at_fast(arrival, self._arrive, state, msg)
+
+    def _arm_timer(self, state: _ChannelState) -> None:
+        if state.timer_armed or not state.needs_retransmit():
+            return
+        state.timer_armed = True
+        self._sim.schedule_fast(state.rto, self._on_timer, state,
+                                state.timer_epoch)
+
+    def _on_timer(self, state: _ChannelState, epoch: int) -> None:
+        if epoch != state.timer_epoch:
+            return  # superseded by an ack-driven reset
+        state.timer_armed = False
+        if not state.needs_retransmit():
+            state.rto = self._rto_initial
+            return
+        # go-back-N: replay every sent-but-unadmitted message in seq order
+        for seq in range(state.admitted_w + 1, state.next_seq):
+            msg = state.unacked.get(seq)
+            if msg is not None:
+                self._metrics.retransmissions += 1
+                self._transmit(state, msg)
+        state.rto = min(state.rto * 2.0, self._rto_cap)
+        self._arm_timer(state)
+
+    def _on_ack(self, state: _ChannelState, admitted: int, processed: int) -> None:
+        """Sender learns of receiver progress (fires after the ack delay)."""
+        progressed = False
+        if processed > state.processed_w:
+            for seq in range(state.processed_w + 1, processed + 1):
+                state.unacked.pop(seq, None)
+            state.processed_w = processed
+            progressed = True
+        if admitted > state.admitted_w:
+            state.admitted_w = admitted
+            progressed = True
+        if progressed:
+            # fresh news: restart the backoff clock
+            state.timer_epoch += 1
+            state.timer_armed = False
+            state.rto = self._rto_initial
+            self._arm_timer(state)
+
+    # ------------------------------------------------------------------
+    # receiver side
+    # ------------------------------------------------------------------
+
+    def _arrive(self, state: _ChannelState, msg: Message) -> None:
+        if self._node_down(state.dst_rt.node_id):
+            # fail-stop target: the transmission evaporates, no ack — the
+            # sender's timer keeps the message alive until fail-over
+            self._metrics.messages_dropped_down += 1
+            return
+        seq = msg.seq
+        if seq <= state.watermark or seq in state.processed:
+            self._metrics.duplicates_dropped += 1
+            self._send_ack(state)  # refresh the sender's cumulative view
+            return
+        if seq < state.next_admit:
+            # already sitting in the mailbox awaiting processing
+            self._metrics.duplicates_dropped += 1
+            return
+        if seq != state.next_admit:
+            state.pending[seq] = msg  # out of order: hold for the gap
+            return
+        self._admit(state.dst_rt, msg, None)
+        state.next_admit = seq + 1
+        while True:
+            nxt = state.next_admit
+            if nxt in state.processed:
+                state.next_admit = nxt + 1  # processed before a crash reset
+            elif nxt in state.pending:
+                self._admit(state.dst_rt, state.pending.pop(nxt), None)
+                state.next_admit = nxt + 1
+            else:
+                break
+        self._send_ack(state)
+
+    def on_processed(self, op_rt: OperatorRuntime, msg: Message) -> None:
+        """Final disposition of a message (executed, shed, or poison)."""
+        state = self._states.get((msg.sender, op_rt.address))
+        if state is None:
+            return
+        seq = msg.seq
+        if seq == state.watermark + 1:
+            state.watermark = seq
+            processed = state.processed
+            while state.watermark + 1 in processed:
+                state.watermark += 1
+                processed.remove(state.watermark)
+        else:
+            state.processed.add(seq)
+        self._send_ack(state)
+
+    def _send_ack(self, state: _ChannelState) -> None:
+        """Cumulative (admitted, processed) ack back to the sender."""
+        src_node, dst_node = state.src_node, state.dst_rt.node_id
+        if self._injector.drops_ack(dst_node, src_node):
+            self._metrics.acks_lost += 1
+            return
+        delay = self._injector.inflate_transit(
+            self._delay_model.delay(dst_node, src_node)
+        )
+        self._sim.schedule_fast(delay, self._on_ack, state,
+                                state.next_admit - 1, state.watermark)
+
+    # ------------------------------------------------------------------
+    # crash hooks (driven by the RecoveryManager)
+    # ------------------------------------------------------------------
+
+    def on_node_crash(self, node_id: int) -> None:
+        """Roll receiver state of channels into ``node_id`` back to the
+        processed watermark: admitted-but-unprocessed messages died with
+        the node's mailboxes and must be re-admitted on replay."""
+        for state in self._states.values():
+            if state.dst_rt.node_id == node_id:
+                state.pending.clear()
+                state.next_admit = state.watermark + 1
+
+    def on_failover(self, op_rt: OperatorRuntime) -> None:
+        """The cluster announced ``op_rt``'s old node dead: senders roll
+        their delivery knowledge back to the processed watermark and
+        resume retransmission toward the operator's new home."""
+        for state in self._states.values():
+            if state.dst_rt is op_rt:
+                state.admitted_w = state.watermark
+                state.timer_epoch += 1
+                state.timer_armed = False
+                state.rto = self._rto_initial
+                self._arm_timer(state)
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def channel_count(self) -> int:
+        return len(self._states)
+
+    def unacked_total(self) -> int:
+        """Messages retained in retransmit buffers (not yet processed)."""
+        return sum(len(s.unacked) for s in self._states.values())
+
+
+class FailureDetector:
+    """Heartbeat-based failure detection with a configurable timeout.
+
+    Every node deposits a heartbeat each ``interval`` while it is up; a
+    monitor sweep (same cadence) declares a node failed once its last
+    heartbeat is older than ``timeout``, and notices recovery when
+    heartbeats resume.  Detection latency is therefore bounded by
+    ``timeout + interval``.
+    """
+
+    def __init__(self, sim, nodes: list, interval: float, timeout: float,
+                 on_failure: Callable[[int], None],
+                 on_alive: Optional[Callable[[int], None]] = None):
+        if interval <= 0 or timeout < interval:
+            raise ValueError("need 0 < heartbeat interval <= timeout")
+        self._sim = sim
+        self._nodes = nodes
+        self._interval = interval
+        self._timeout = timeout
+        self._on_failure = on_failure
+        self._on_alive = on_alive
+        self._last_heartbeat = {node.node_id: 0.0 for node in nodes}
+        self.failed: set[int] = set()
+        #: nodes declared failed over the run (monotone counter)
+        self.failures_declared = 0
+
+    def start(self) -> None:
+        for node in self._nodes:
+            self._sim.schedule_fast(self._interval, self._emit, node)
+        self._sim.schedule_fast(self._interval, self._sweep)
+
+    def _emit(self, node) -> None:
+        if not node.down:
+            self._last_heartbeat[node.node_id] = self._sim.now
+        self._sim.schedule_fast(self._interval, self._emit, node)
+
+    def _sweep(self) -> None:
+        now = self._sim.now
+        for node_id, last in self._last_heartbeat.items():
+            silent = now - last > self._timeout
+            if node_id in self.failed:
+                if not silent:
+                    self.failed.discard(node_id)
+                    if self._on_alive is not None:
+                        self._on_alive(node_id)
+            elif silent:
+                self.failed.add(node_id)
+                self.failures_declared += 1
+                self._on_failure(node_id)
+        self._sim.schedule_fast(self._interval, self._sweep)
+
+
+class RecoveryManager:
+    """Executes crash/restart events and drives fail-over on detection.
+
+    Crash semantics are fail-stop: the node stops heartbeating and
+    executing, its mailboxes / back-pressure queues / in-flight quanta are
+    lost, and in-flight transmissions toward it evaporate.  On detection,
+    every operator of the dead node is respawned on a surviving node
+    (round-robin over ``lifecycle.evacuate``), and the reliable layer
+    replays everything unprocessed.
+    """
+
+    def __init__(self, sim, nodes: list, ops: dict, lifecycle, reliable,
+                 metrics, timeline, heartbeat_interval: float,
+                 failure_timeout: float):
+        self._sim = sim
+        self._nodes = nodes
+        self._ops = ops
+        self._lifecycle = lifecycle
+        self._reliable = reliable
+        self._metrics = metrics
+        self._timeline = timeline
+        self._crash_time: dict[int, float] = {}
+        self._evacuated: dict[int, list[OperatorRuntime]] = {}
+        self.detector = FailureDetector(
+            sim, nodes, heartbeat_interval, failure_timeout,
+            on_failure=self._on_failure, on_alive=self._on_alive,
+        )
+
+    def install(self, schedule) -> None:
+        """Schedule every crash/restart of the fault schedule and start
+        the heartbeat machinery."""
+        for crash in schedule.crashes:
+            self._sim.schedule_at(crash.start, self.crash, crash.node)
+            if crash.end != float("inf"):
+                self._sim.schedule_at(crash.end, self.restart, crash.node)
+        self.detector.start()
+
+    # ------------------------------------------------------------------
+    # crash / restart (the fault side)
+    # ------------------------------------------------------------------
+
+    def crash(self, node_id: int) -> None:
+        """Fail-stop ``node_id`` at the current instant."""
+        node = self._nodes[node_id]
+        if node.down:
+            return
+        now = self._sim.now
+        node.down = True
+        self._crash_time[node_id] = now
+        self._metrics.crashes += 1
+        for worker in node.workers:
+            if not worker.idle:
+                # in-flight quantum dies with the node; the stale completion
+                # event is discarded by the dispatch loop's current_op guard
+                worker.idle = True
+                worker.current_op = None
+            worker.last_op = None
+        lost = 0
+        for op_rt in self._ops.values():
+            if op_rt.node_id != node_id:
+                continue
+            mailbox = op_rt.mailbox
+            lost += len(mailbox) + len(op_rt.blocked)
+            while len(mailbox) > 0:  # volatile memory: queued work dies
+                mailbox.pop()
+            op_rt.blocked.clear()
+            node.run_queue.discard(op_rt)
+        self._metrics.messages_lost_crash += lost
+        self._reliable.on_node_crash(node_id)
+        self._timeline.record(now, "crash", f"node {node_id} down "
+                                            f"({lost} queued messages lost)")
+
+    def restart(self, node_id: int) -> None:
+        """Bring ``node_id`` back and rebalance: operators evacuated from it
+        migrate home gracefully (mailboxes move with them, so unlike the
+        fail-over path no retransmit-state rollback is needed)."""
+        node = self._nodes[node_id]
+        if not node.down:
+            return
+        node.down = False
+        self._metrics.node_restarts += 1
+        returned = self._evacuated.pop(node_id, [])
+        for op_rt in returned:
+            self._lifecycle.migrate(op_rt, node_id)
+        self._timeline.record(
+            self._sim.now, "restart",
+            f"node {node_id} up ({len(returned)} operators migrating home)",
+        )
+
+    # ------------------------------------------------------------------
+    # detection callbacks (the recovery side)
+    # ------------------------------------------------------------------
+
+    def _on_failure(self, node_id: int) -> None:
+        now = self._sim.now
+        crashed_at = self._crash_time.get(node_id, now)
+        self._metrics.failure_detections.append((node_id, crashed_at, now))
+        survivors = [n.node_id for n in self._nodes if not n.down]
+        if not survivors:  # validate_cluster forbids this; defensive only
+            return
+        moved = self._lifecycle.evacuate(node_id, survivors)
+        self._evacuated[node_id] = moved
+        for op_rt in moved:
+            self._reliable.on_failover(op_rt)
+        self._timeline.record(
+            now, "failover",
+            f"node {node_id} declared dead after {now - crashed_at:.3f}s; "
+            f"{len(moved)} operators respawned on {survivors}",
+        )
+
+    def _on_alive(self, node_id: int) -> None:
+        self._timeline.record(self._sim.now, "alive",
+                              f"node {node_id} heartbeating again")

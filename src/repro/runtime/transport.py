@@ -46,6 +46,7 @@ class Transport:
         "_profiler",
         "_capacity",
         "_ingest_cache",
+        "_reliable",
     )
 
     def __init__(
@@ -76,6 +77,17 @@ class Transport:
         self._profiler = profiler
         self._capacity = config.source_mailbox_capacity
         self._ingest_cache: dict = {}
+        self._reliable = None
+
+    def attach_reliable(self, reliable) -> None:
+        """Install the reliable-delivery layer (fault-schedule runs only).
+
+        When installed, every data send is routed through ack/retransmit
+        channels (see :mod:`repro.runtime.recovery`); :meth:`deliver` stays
+        the admission body the reliable layer calls back into.  Fault-free
+        runs never install it, keeping the original fire-and-forget path
+        bit-identical."""
+        self._reliable = reliable
 
     # ------------------------------------------------------------------
     # ingestion (client -> source operator)
@@ -151,6 +163,9 @@ class Transport:
             channel_index=channel_index,
         )
         src_rt.job_metrics.tuples_ingested += count
+        if self._reliable is not None:
+            self._reliable.send(None, src_rt, channel, msg)
+            return
         if transit is None:
             # clients are remote machines (node id -1 never matches a node)
             transit = self._delay_model.delay(-1, src_rt.node_id)
@@ -267,6 +282,9 @@ class Transport:
             pc=pc,
             channel_index=channel_index,
         )
+        if self._reliable is not None:
+            self._reliable.send(src_rt, dst_rt, channel, out)
+            return
         if transit is None:
             transit = self._delay_model.delay(src_rt.node_id, dst_rt.node_id)
         arrival = channel.deliver_time(now, transit)

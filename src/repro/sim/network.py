@@ -47,6 +47,8 @@ class JitteredDelay(DelayModel):
     ):
         if local < 0 or remote < 0:
             raise ValueError("delays must be non-negative")
+        if sigma < 0:
+            raise ValueError("jitter sigma must be non-negative")
         self._rng = rng
         self._local = local
         self._remote = remote

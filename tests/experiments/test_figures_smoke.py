@@ -8,6 +8,7 @@ end at toy scale and produces structurally sound results.
 import math
 
 from repro.experiments import (
+    run_ext_faults,
     run_fig01,
     run_fig02,
     run_fig04,
@@ -125,3 +126,22 @@ def test_ext_migration_smoke():
     assert result.extras["fifo migrate"]["post_p99"] <= (
         result.extras["fifo static"]["post_p99"]
     )
+
+
+def test_ext_faults_smoke():
+    result = run_ext_faults(duration=12.0, drain=4.0)
+    assert len(result.rows) == 5
+    for label, extra in result.extras.items():
+        assert 0.0 <= extra["success"] <= 1.0
+        report = extra["fault_report"]
+        if label == "cameo (no faults)":
+            assert report["crashes"] == 0
+            assert extra["timeline"] == []
+        else:
+            # both crash windows open inside a 12s run (t=8 and t=10)
+            assert report["crashes"] == 2
+            assert report["failure_detections"] == 2
+            assert any(kind == "failover" for _, kind, _ in extra["timeline"])
+    # only the shedding variant sheds
+    assert result.extras["cameo + shedding"]["fault_report"]["messages_shed"] > 0
+    assert result.extras["cameo"]["fault_report"]["messages_shed"] == 0

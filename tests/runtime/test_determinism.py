@@ -16,6 +16,7 @@ from repro.dataflow.messages import reset_message_ids
 from repro.experiments.common import TenantMix, run_tenant_mix
 from repro.runtime.config import EngineConfig
 from repro.runtime.engine import StreamEngine
+from repro.sim.faults import ChannelLoss, CrashWindow, DelaySpike, FaultSchedule
 from repro.workloads.arrivals import FixedBatchSize, PeriodicArrivals, drive_all_sources
 from repro.workloads.tenants import (
     make_bulk_analytics_job,
@@ -86,6 +87,65 @@ def test_reconfigured_runs_are_bit_identical(scheduler):
     second = _reconfigured_log(scheduler)
     assert len(first) > 100, "workload should actually process messages"
     assert first == second
+
+
+def _faulted_log(scheduler: str):
+    """Completion log of a run under a crash + loss + delay-spike schedule.
+
+    Fault injection draws from its own named RNG substream and every
+    crash/detection/fail-over step runs through the kernel's ordinary event
+    scheduling, so a seeded faulted run must replay bit-identically —
+    retransmissions, duplicate drops, evacuations and all.
+    """
+    reset_message_ids()
+    schedule = FaultSchedule(
+        crashes=[CrashWindow(node=1, start=1.0, end=2.0)],
+        losses=[ChannelLoss(rate=0.05, scope="remote")],
+        delay_spikes=[DelaySpike(start=1.5, end=2.0, factor=2.0, extra=0.01)],
+    )
+    ls = make_latency_sensitive_job("ls0", source_count=2)
+    ba = make_bulk_analytics_job("ba0", source_count=2)
+    engine = StreamEngine(
+        EngineConfig(scheduler=scheduler, nodes=2, workers_per_node=2,
+                     seed=7, fault_schedule=schedule,
+                     record_completion_timeline=True),
+        [ls, ba],
+    )
+    for job, period in ((ls, 1 / 40.0), (ba, 1 / 15.0)):
+        drive_all_sources(engine, job, lambda s, i, p=period: PeriodicArrivals(p),
+                          sizer=FixedBatchSize(200), until=3.0)
+    engine.run(until=5.0)
+    assert engine.metrics.crashes == 1, "the schedule should actually fire"
+    return engine.metrics.completion_log
+
+
+@pytest.mark.parametrize("scheduler", ["cameo", "fifo", "orleans"])
+def test_faulted_runs_are_bit_identical(scheduler):
+    """Same seed + same fault schedule => identical completion timelines."""
+    first = _faulted_log(scheduler)
+    second = _faulted_log(scheduler)
+    assert len(first) > 100, "workload should actually process messages"
+    assert first == second
+
+
+def _zero_fault_log(scheduler: str, schedule):
+    reset_message_ids()
+    mix = TenantMix(ls_count=2, ba_count=2, ba_msg_rate=30.0)
+    engine = run_tenant_mix(
+        scheduler, mix, duration=3.0, drain=1.0, nodes=2, workers_per_node=2,
+        seed=7,
+        config_overrides={"record_completion_timeline": True,
+                          "fault_schedule": schedule},
+    )
+    return engine.metrics.completion_log
+
+
+@pytest.mark.parametrize("scheduler", ["cameo", "fifo", "orleans"])
+def test_empty_fault_schedule_is_bit_identical_to_none(scheduler):
+    """An empty FaultSchedule must be *inert*: no machinery installed, so
+    the completion timeline matches a run with no schedule at all."""
+    assert _zero_fault_log(scheduler, None) == \
+        _zero_fault_log(scheduler, FaultSchedule())
 
 
 def test_schedulers_actually_differ():

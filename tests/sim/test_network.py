@@ -34,6 +34,10 @@ class TestJitteredDelay:
         with pytest.raises(ValueError):
             JitteredDelay(np.random.default_rng(0), local=-1.0)
 
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError, match="sigma"):
+            JitteredDelay(np.random.default_rng(0), sigma=-0.1)
+
 
 class TestFifoChannel:
     def test_plain_delivery(self):
