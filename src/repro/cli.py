@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli bench --label pr2 --compare BENCH_seed.json
     python -m repro.cli topology --ls 2 --ba 1 --nodes 2
     python -m repro.cli faults --scheduler cameo --shed
+    python -m repro.cli trace ext_faults --attribution --out traces/
 
 Each figure runs with its benchmark defaults and prints the same table the
 corresponding ``benchmarks/test_figNN_*.py`` archives.  ``bench`` runs the
@@ -17,6 +18,10 @@ hot-path benchmark-regression harness (see :mod:`repro.bench`).
 (operators, placements, channels, reply routes) as JSON.  ``faults`` drives
 a mix through the canonical crash+loss schedule (see
 :mod:`repro.sim.faults`) and dumps the fault/recovery counters.
+``trace`` runs a scenario with the observability plane enabled and emits
+a Perfetto-loadable Chrome-trace JSON, a flat JSONL event log, and (with
+``--attribution``) the deadline-miss slack-thief tables (see
+:mod:`repro.obs` and ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -172,6 +177,103 @@ def faults_main(argv: list[str]) -> int:
     return 0
 
 
+def trace_main(argv: list[str]) -> int:
+    """Run a scenario with tracing on; emit Chrome-trace JSON + JSONL logs
+    (see ``docs/observability.md``) and optionally the deadline-miss
+    attribution table."""
+    from repro.experiments.common import TenantMix, run_tenant_mix
+    from repro.obs.attribution import attribute, render_attribution
+    from repro.obs.export import jsonl_events, write_chrome_trace
+    from repro.obs.schema import validate_chrome_trace
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli trace",
+        description="Run a (possibly faulted) tenant-mix scenario with the "
+                    "observability plane on and export a Perfetto-loadable "
+                    "Chrome-trace JSON plus a flat JSONL event log.",
+    )
+    parser.add_argument("scenario", nargs="?", default="mix",
+                        choices=["mix", "ext_faults"],
+                        help="mix = healthy tenant mix; ext_faults = the "
+                             "canonical crash+loss schedule (default: mix)")
+    parser.add_argument("--ls", type=int, default=2,
+                        help="latency-sensitive job count (default 2)")
+    parser.add_argument("--ba", type=int, default=1,
+                        help="bulk-analytics job count (default 1)")
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="node count (default: 2, or 3 under ext_faults)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="workers per node (default 2)")
+    parser.add_argument("--scheduler", default="cameo",
+                        choices=["cameo", "fifo", "orleans"])
+    parser.add_argument("--duration", type=float, default=12.0,
+                        help="driven seconds (default 12; +5s drain)")
+    parser.add_argument("--seed", type=int, default=4)
+    parser.add_argument("--shed", action="store_true",
+                        help="enable deadline-aware load shedding")
+    parser.add_argument("--sample-interval", type=float, default=0.05,
+                        help="scheduler sampling cadence in simulated "
+                             "seconds (default 0.05)")
+    parser.add_argument("--out", default="traces", metavar="DIR",
+                        help="output directory (default: traces/)")
+    parser.add_argument("--attribution", action="store_true",
+                        help="print the deadline-miss attribution table")
+    parser.add_argument("--precision", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    overrides = {
+        "record_trace": True,
+        "trace_sample_interval": args.sample_interval,
+        "shed_expired": args.shed,
+    }
+    nodes = args.nodes
+    if args.scenario == "ext_faults":
+        from repro.experiments.ext_faults import make_fault_schedule
+
+        overrides["fault_schedule"] = make_fault_schedule(args.duration)
+        nodes = 3 if nodes is None else nodes
+    nodes = 2 if nodes is None else nodes
+    mix = TenantMix(ls_count=args.ls, ba_count=args.ba)
+    engine = run_tenant_mix(
+        args.scheduler, mix, duration=args.duration, nodes=nodes,
+        workers_per_node=args.workers, seed=args.seed,
+        config_overrides=overrides,
+    )
+
+    directory = pathlib.Path(args.out)
+    directory.mkdir(parents=True, exist_ok=True)
+    label = f"{args.scenario}_{args.scheduler}"
+    chrome_path = directory / f"trace_{label}.json"
+    jsonl_path = directory / f"trace_{label}.jsonl"
+    payload = write_chrome_trace(
+        chrome_path, engine.tracer, engine.fault_timeline, label=label
+    )
+    problems = validate_chrome_trace(payload)
+    if problems:  # defensive: the exporter should never emit these
+        for problem in problems:
+            print(f"schema: {problem}", file=sys.stderr)
+        return 1
+    jsonl_path.write_text(jsonl_events(
+        engine.tracer, engine.fault_timeline, label=label
+    ))
+    summary = {
+        "scenario": args.scenario,
+        "scheduler": args.scheduler,
+        "chrome_trace": str(chrome_path),
+        "jsonl_log": str(jsonl_path),
+        "trace": engine.tracer.summary(),
+        "retransmit_backoff_time": engine.metrics.retransmit_backoff_time,
+    }
+    if engine.reliable is not None:
+        summary["backoff_by_channel"] = engine.reliable.backoff_by_channel()
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if args.attribution:
+        report = attribute(engine.tracer, engine.metrics)
+        print()
+        print(render_attribution(report, precision=args.precision))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -183,6 +285,8 @@ def main(argv: list[str] | None = None) -> int:
         return topology_main(argv[1:])
     if argv and argv[0] == "faults":
         return faults_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.cli",
         description="Regenerate figures from the Cameo (NSDI 2021) reproduction.",

@@ -53,19 +53,33 @@ class JobMetrics:
         #: per-stage execution-time running stats
         self.execution: dict[str, RunningStat] = {}
 
-    def record_queueing(self, stage: str, delay: float) -> None:
+    def queueing_stat(self, stage: str) -> RunningStat:
+        """Get-or-create the per-stage mailbox-wait stat.
+
+        The single source of truth for queueing bookkeeping: the dispatch
+        loop caches this stat on the operator runtime and feeds it the
+        same wait value it hands the span recorder, so per-stage stats
+        and traces can never disagree."""
         stat = self.queueing.get(stage)
         if stat is None:
             stat = RunningStat()
             self.queueing[stage] = stat
-        stat.add(delay)
+        return stat
 
-    def record_execution(self, stage: str, cost: float) -> None:
+    def execution_stat(self, stage: str) -> RunningStat:
+        """Get-or-create the per-stage execution-cost stat (see
+        :meth:`queueing_stat`)."""
         stat = self.execution.get(stage)
         if stat is None:
             stat = RunningStat()
             self.execution[stage] = stat
-        stat.add(cost)
+        return stat
+
+    def record_queueing(self, stage: str, delay: float) -> None:
+        self.queueing_stat(stage).add(delay)
+
+    def record_execution(self, stage: str, cost: float) -> None:
+        self.execution_stat(stage).add(cost)
 
     def breakdown(self) -> list[tuple[str, float, float, float]]:
         """Per-stage ``(stage, mean queueing, max queueing, mean execution)``
@@ -184,6 +198,9 @@ class MetricsHub:
         self.messages_lost_crash = 0    # queued messages lost to node crashes
         self.messages_dropped_down = 0  # arrivals at a down node (evaporated)
         self.retransmissions = 0        # go-back-N replays by reliable delivery
+        #: seconds spent waiting on retransmit timers before replaying
+        #: (summed over retransmitting timer expiries across all channels)
+        self.retransmit_backoff_time = 0.0
         self.duplicates_dropped = 0     # retransmitted copies deduplicated
         self.acks_lost = 0              # delivery-layer acks dropped by loss
         self.crashes = 0                # fail-stop events executed
@@ -281,6 +298,7 @@ class MetricsHub:
             "messages_lost_crash": self.messages_lost_crash,
             "messages_dropped_down": self.messages_dropped_down,
             "retransmissions": self.retransmissions,
+            "retransmit_backoff_time": self.retransmit_backoff_time,
             "duplicates_dropped": self.duplicates_dropped,
             "acks_lost": self.acks_lost,
             "messages_shed": shed_messages,

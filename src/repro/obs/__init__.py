@@ -1,0 +1,57 @@
+"""Observability plane: message tracing, attribution, introspection.
+
+The ``repro.obs`` package turns the simulator into a debuggable system
+(see ``docs/observability.md``):
+
+* :mod:`repro.obs.spans` — the span model: one
+  :class:`~repro.obs.spans.MessageSpan` per message hop whose timestamps
+  telescope exactly into network / recovery / queueing / execution
+  components, plus per-node :class:`~repro.obs.spans.SchedSample`
+  scheduler snapshots.
+* :mod:`repro.obs.recorder` — the hook interface
+  (:class:`~repro.obs.recorder.NullRecorder`) and the live
+  :class:`~repro.obs.recorder.TraceRecorder`.  With tracing off the
+  runtime holds no recorder at all, so the hot path is untouched.
+* :mod:`repro.obs.introspect` — the periodic
+  :class:`~repro.obs.introspect.SchedulerSampler`.
+* :mod:`repro.obs.attribution` — deadline-miss attribution: decompose
+  every missed output's causal chain and report the "slack thief".
+* :mod:`repro.obs.export` — Chrome-trace (Perfetto) JSON and flat JSONL
+  exporters.
+* :mod:`repro.obs.schema` — a minimal Chrome-trace structural validator
+  (the CI smoke check).
+
+Enable with ``EngineConfig(record_trace=True)`` or run
+``python -m repro.cli trace <experiment>``.
+"""
+
+from repro.obs.attribution import (
+    attribute,
+    causal_chain,
+    chain_total,
+    decompose_chain,
+    render_attribution,
+)
+from repro.obs.export import chrome_trace, jsonl_events, write_chrome_trace
+from repro.obs.introspect import SchedulerSampler
+from repro.obs.recorder import NULL_RECORDER, NullRecorder, TraceRecorder
+from repro.obs.schema import validate_chrome_trace
+from repro.obs.spans import MessageSpan, SchedSample
+
+__all__ = [
+    "MessageSpan",
+    "SchedSample",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "TraceRecorder",
+    "SchedulerSampler",
+    "attribute",
+    "causal_chain",
+    "chain_total",
+    "decompose_chain",
+    "render_attribution",
+    "chrome_trace",
+    "jsonl_events",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]

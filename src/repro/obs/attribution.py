@@ -1,0 +1,202 @@
+"""Deadline-miss attribution: which hop ate the slack?
+
+Cameo's deadline ``ddl_M = t_MF + L − C_oM − C_path`` (§4.1) encodes
+*where time is allowed to go*; this module reports where it actually
+went.  For every sink output the tracer captured, the causal span chain
+(root ingest → … → sink) is decomposed into the four additive per-hop
+components of :meth:`~repro.obs.spans.MessageSpan.components`::
+
+    network   sent → first mailbox admission (flight + retransmit backoff)
+    recovery  first → last admission (crash-and-replay gap)
+    queueing  Σ mailbox waits
+    execution Σ execution costs
+
+The per-hop components of one chain sum to the chain's end-to-end traced
+latency (sink ``finished`` − root ``sent``) — the telescoping identity of
+:mod:`repro.obs.spans`, property-tested in ``tests/obs/test_attribution``.
+Aggregating the components of *missed* outputs (recorded latency above
+the job's constraint) per stage yields the "slack thief": the
+stage × component that contributed the most time to misses.
+
+Two latency notions appear side by side and are both reported:
+
+* *traced* latency — sink ``finished`` − root ``sent`` (what the chain
+  decomposition sums to);
+* *recorded* latency — the figure pipelines' ``now − msg.t`` at the sink,
+  anchored at the triggering message's logical arrival frontier.  Misses
+  are classified on recorded latency so attribution agrees with
+  ``success_rate()``.
+
+Shed messages never execute and therefore appear on no output chain;
+they are aggregated separately per stage (count, tuples, and mailbox
+time lost before the drop).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.spans import SHED, MessageSpan
+
+_COMPONENTS = ("network", "recovery", "queueing", "execution")
+
+
+def _nz(value: float) -> float:
+    """NaN-safe component read (a never-admitted hop has NaN pieces)."""
+    return value if value == value else 0.0
+
+
+def causal_chain(recorder, span: MessageSpan) -> list[MessageSpan]:
+    """The span chain root → … → ``span`` (walking ``parent`` links)."""
+    chain = [span]
+    spans = recorder.spans
+    while True:
+        parent = spans.get(chain[-1].parent)
+        if parent is None:
+            break
+        chain.append(parent)
+    chain.reverse()
+    return chain
+
+
+def chain_total(chain: list[MessageSpan]) -> float:
+    """End-to-end traced latency of a chain (sink finished − root sent)."""
+    return chain[-1].finished - chain[0].sent
+
+
+def decompose_chain(chain: list[MessageSpan]) -> list[dict]:
+    """Per-hop component rows; their values sum to :func:`chain_total`.
+
+    Each row carries the hop's stage, its four additive components, and
+    the (informational, network-subset) retransmit backoff."""
+    rows = []
+    for span in chain:
+        row = {"stage": span.stage, "backoff": span.backoff,
+               "retransmits": span.retransmits}
+        for name, value in span.components().items():
+            row[name] = _nz(value)
+        rows.append(row)
+    return rows
+
+
+def attribute(recorder, metrics) -> dict:
+    """Build the deadline-miss attribution report (JSON-able).
+
+    ``metrics`` is the engine's :class:`~repro.metrics.collectors.MetricsHub`
+    — the source of each job's latency constraint.
+    """
+    jobs: dict[str, dict] = {}
+    for span in recorder.spans.values():
+        if span.outcome == SHED:
+            job = _job_entry(jobs, metrics, span.job)
+            shed = job["shed"].setdefault(
+                span.stage, {"count": 0, "tuples": 0, "wait_seconds": 0.0}
+            )
+            shed["count"] += 1
+            shed["tuples"] += span.tuples
+            shed["wait_seconds"] += span.wait
+            continue
+        if span.latency != span.latency:  # not a sink output
+            continue
+        job = _job_entry(jobs, metrics, span.job)
+        job["outputs"] += 1
+        chain = causal_chain(recorder, span)
+        missed = span.latency > job["constraint"]
+        if not missed:
+            continue
+        job["misses"] += 1
+        job["miss_traced_seconds"] += chain_total(chain)
+        job["miss_recorded_seconds"] += span.latency
+        stages = job["stages"]
+        for row in decompose_chain(chain):
+            agg = stages.setdefault(
+                row["stage"],
+                {name: 0.0 for name in _COMPONENTS}
+                | {"backoff": 0.0, "retransmits": 0, "total": 0.0},
+            )
+            for name in _COMPONENTS:
+                agg[name] += row[name]
+                agg["total"] += row[name]
+            agg["backoff"] += row["backoff"]
+            agg["retransmits"] += row["retransmits"]
+    for job in jobs.values():
+        job["slack_thief"] = _slack_thief(job)
+    return {"jobs": jobs}
+
+
+def _job_entry(jobs: dict, metrics, name: str) -> dict:
+    entry = jobs.get(name)
+    if entry is None:
+        entry = {
+            "constraint": metrics.job(name).latency_constraint,
+            "outputs": 0,
+            "misses": 0,
+            "miss_traced_seconds": 0.0,
+            "miss_recorded_seconds": 0.0,
+            "stages": {},
+            "shed": {},
+            "slack_thief": None,
+        }
+        jobs[name] = entry
+    return entry
+
+
+def _slack_thief(job: dict) -> Optional[dict]:
+    """The stage × component contributing the most time to misses."""
+    best = None
+    total = sum(agg["total"] for agg in job["stages"].values())
+    for stage, agg in job["stages"].items():
+        for name in _COMPONENTS:
+            seconds = agg[name]
+            if best is None or seconds > best["seconds"]:
+                best = {
+                    "stage": stage,
+                    "component": name,
+                    "seconds": seconds,
+                    "share": seconds / total if total > 0 else 0.0,
+                }
+    return best
+
+
+def render_attribution(report: dict, precision: int = 3) -> str:
+    """Plain-text slack-thief tables (the CLI's ``--attribution`` view)."""
+    from repro.metrics.report import format_table
+
+    sections = []
+    for name in sorted(report["jobs"]):
+        job = report["jobs"][name]
+        header = (
+            f"job {name}: {job['misses']}/{job['outputs']} outputs missed "
+            f"the {job['constraint']:g}s constraint"
+        )
+        thief = job["slack_thief"]
+        if thief is not None:
+            header += (
+                f" — slack thief: {thief['stage']}/{thief['component']} "
+                f"({thief['share'] * 100:.0f}% of miss time)"
+            )
+        rows = []
+        for stage in sorted(job["stages"]):
+            agg = job["stages"][stage]
+            rows.append([
+                stage,
+                agg["network"], agg["recovery"], agg["queueing"],
+                agg["execution"], agg["backoff"], agg["retransmits"],
+            ])
+        for stage in sorted(job["shed"]):
+            shed = job["shed"][stage]
+            rows.append([
+                f"{stage} (shed ×{shed['count']})",
+                0.0, 0.0, shed["wait_seconds"], 0.0, 0.0, 0,
+            ])
+        if not rows:
+            sections.append(header + "\n(no misses, nothing to attribute)")
+            continue
+        sections.append(format_table(
+            ["stage", "network", "recovery", "queueing", "execution",
+             "backoff", "retx"],
+            rows, title=header, precision=precision,
+        ))
+    if not sections:
+        return "(no traced outputs)"
+    return "\n\n".join(sections)

@@ -1,0 +1,87 @@
+"""Scheduler introspection: periodic sampled run-queue snapshots.
+
+The :class:`SchedulerSampler` wakes every ``interval`` simulated seconds
+and records one :class:`~repro.obs.spans.SchedSample` per node: run-queue
+depth, head priority, busy workers and quantum utilization, plus the run
+queue's own lifetime counters (``pushes`` / ``pops`` / ``notify_skips``).
+
+Determinism: the sampler schedules kernel events, but its callbacks are
+*observationally inert* — ``peek_best_priority()`` / ``pending_operator_
+count()`` only perform the lazy heap maintenance (`_clean_top`) that the
+next ``pop`` would perform anyway, under the same total ``(key, seq)``
+order, so the pop order of live entries is unchanged.  Sampler events can
+make the kernel refuse a quantum-batched inline advance, but the
+documented fallback (heap-scheduled completion) yields an identical
+observable event order.  Net effect: tracing-on runs produce bit-identical
+completion logs to tracing-off runs (pinned by
+``tests/obs/test_trace_determinism.py``).
+
+The sampler re-arms itself forever; it is only installed on engines built
+with ``record_trace=True``, whose ``run(until=...)`` bounds the clock.
+"""
+
+from __future__ import annotations
+
+from repro.obs.spans import SchedSample
+
+_NAN = float("nan")
+
+
+class SchedulerSampler:
+    """Samples every node's run queue each ``interval`` simulated seconds."""
+
+    def __init__(self, sim, nodes: list, recorder, interval: float):
+        if interval <= 0:
+            raise ValueError("sample interval must be positive")
+        self._sim = sim
+        self._nodes = nodes
+        self._recorder = recorder
+        self._interval = interval
+        # last-observed cumulative busy time per (node, worker slot), for
+        # per-interval utilization deltas
+        self._busy_seen: dict[tuple[int, int], float] = {}
+
+    def start(self) -> None:
+        self._sim.schedule_fast(self._interval, self._tick)
+
+    def _tick(self) -> None:
+        now = self._sim.now
+        recorder = self._recorder
+        for node in self._nodes:
+            recorder.add_sample(self._sample_node(node, now))
+        self._sim.schedule_fast(self._interval, self._tick)
+
+    def _sample_node(self, node, now: float) -> SchedSample:
+        run_queue = node.run_queue
+        depth = run_queue.pending_operator_count()
+        peek = getattr(run_queue, "peek_best_priority", None)
+        head = _NAN
+        if peek is not None:
+            best = peek()
+            if best is not None:
+                head = best
+        busy = active = 0
+        busy_delta = 0.0
+        seen = self._busy_seen
+        for worker in node.workers:
+            if not worker.retired:
+                active += 1
+                if not worker.idle:
+                    busy += 1
+            key = (node.node_id, worker.local_id)
+            prev = seen.get(key, 0.0)
+            busy_delta += worker.busy_time - prev
+            seen[key] = worker.busy_time
+        if active > 0:
+            # busy time is booked in lumps at completion instants, so a
+            # message longer than the interval lands in one tick: clamp
+            utilization = min(1.0, busy_delta / (self._interval * active))
+        else:
+            utilization = 0.0
+        return SchedSample(
+            now, node.node_id, depth, head,
+            busy, active, utilization,
+            getattr(run_queue, "pushes", 0),
+            getattr(run_queue, "pops", 0),
+            getattr(run_queue, "notify_skips", 0),
+        )

@@ -1,0 +1,270 @@
+"""Span recorders: the tracing choke point behind one interface.
+
+Two implementations share the interface:
+
+* :class:`NullRecorder` — every hook is a no-op.  The engine never even
+  calls it: with tracing off the runtime layers cache ``None`` and skip
+  the hook behind a single ``is not None`` test (the same dead-branch
+  idiom the dispatch loop uses for ``faults`` / ``reliable`` / ``shed``),
+  so the PR 2 hot path stays allocation-lean and figure outputs stay
+  bit-identical.  The class exists so user code can hold "a recorder"
+  unconditionally.
+* :class:`TraceRecorder` — allocates one :class:`~repro.obs.spans.MessageSpan`
+  per message hop and appends scheduler samples.  It is **passive**: it
+  never schedules events, touches an RNG stream, or mutates runtime
+  state, which is what makes tracing-on runs produce bit-identical
+  completion logs to tracing-off runs (pinned by
+  ``tests/obs/test_trace_determinism.py``).
+
+Single source of truth (metrics vs traces): the dispatch loop measures a
+message's mailbox wait and execution cost exactly once and feeds the same
+local values to both the per-stage :class:`~repro.metrics.stats.RunningStat`
+aggregates (via ``JobMetrics.queueing_stat`` / ``execution_stat``) and
+:meth:`TraceRecorder.on_start` / :meth:`on_execute_end`.  Per-stage stats
+and traces therefore cannot disagree — ``tests/obs/test_recorder.py``
+pins bitwise agreement between the two.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.spans import (
+    EXECUTED,
+    LOST_CRASH,
+    OUTPUT,
+    PENDING,
+    POISON,
+    SHED,
+    MessageSpan,
+    SchedSample,
+)
+
+_NAN = float("nan")
+
+
+class NullRecorder:
+    """No-op recorder: defines the interface, records nothing."""
+
+    enabled = False
+    spans: dict = {}
+    samples: list = []
+    inversions = 0
+    lost_crash_events = 0
+
+    def on_send(self, msg, parent_id: int, now: float) -> None:
+        pass
+
+    def on_transmit(self, msg, now: float) -> None:
+        pass
+
+    def on_retransmit(self, msg, now: float) -> None:
+        pass
+
+    def on_admit(self, msg, now: float) -> None:
+        pass
+
+    def on_start(self, msg, op_rt, worker_id: int, now: float,
+                 wait: float, cost: float, run_queue=None) -> None:
+        pass
+
+    def on_execute_end(self, msg, now: float, cost: float,
+                       final: bool = True) -> None:
+        pass
+
+    def on_output(self, msg, now: float, latency: float) -> None:
+        pass
+
+    def on_shed(self, msg, op_rt, now: float) -> None:
+        pass
+
+    def on_poison(self, msg, now: float, cost: float) -> None:
+        pass
+
+    def on_reply(self, msg, now: float) -> None:
+        pass
+
+    def on_lost_crash(self, msg, now: float) -> None:
+        pass
+
+    def add_sample(self, sample: SchedSample) -> None:
+        pass
+
+
+NULL_RECORDER = NullRecorder()
+
+
+class TraceRecorder(NullRecorder):
+    """Records one causal span per message hop plus scheduler samples.
+
+    Spans are keyed by ``msg_id`` and kept in creation (send) order; the
+    execution-order view used by the stats-agreement tests is the order of
+    ``on_start`` calls, which equals the order the dispatch loop updated
+    the per-stage RunningStats in.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self.spans: dict[int, MessageSpan] = {}
+        self.samples: list[SchedSample] = []
+        #: on_start order — mirrors the RunningStat add order exactly
+        self.start_order: list[MessageSpan] = []
+        #: lower-priority message began executing while a queued operator
+        #: held a strictly higher-priority (smaller-key) head message
+        self.inversions = 0
+        #: transient crash losses (a replayed copy may still complete the span)
+        self.lost_crash_events = 0
+
+    # ------------------------------------------------------------------
+    # message lifecycle hooks (called by transport / node / recovery)
+    # ------------------------------------------------------------------
+
+    def on_send(self, msg, parent_id: int, now: float) -> None:
+        target = msg.target
+        span = MessageSpan(msg.msg_id, parent_id, target.job, target.stage,
+                           target.index, now)
+        pc = msg.pc
+        if pc is not None:
+            span.pri_global = pc.pri_global
+            span.deadline = pc.deadline
+        span.tuples = msg.tuple_count
+        self.spans[msg.msg_id] = span
+
+    def on_transmit(self, msg, now: float) -> None:
+        span = self.spans.get(msg.msg_id)
+        if span is not None:
+            span.last_tx = now
+            span.transmits += 1
+
+    def on_retransmit(self, msg, now: float) -> None:
+        span = self.spans.get(msg.msg_id)
+        if span is not None:
+            # stall since the previous wire attempt; _transmit follows and
+            # moves last_tx to now
+            span.backoff += now - span.last_tx
+            span.retransmits += 1
+
+    def on_admit(self, msg, now: float) -> None:
+        span = self.spans.get(msg.msg_id)
+        if span is not None:
+            if span.first_admit != span.first_admit:  # NaN: first admission
+                span.first_admit = now
+            span.admitted = now
+
+    def on_start(self, msg, op_rt, worker_id: int, now: float,
+                 wait: float, cost: float, run_queue=None) -> None:
+        span = self.spans.get(msg.msg_id)
+        if span is None:
+            return
+        span.started = now
+        if wait == wait:  # NaN-safe
+            span.wait += wait
+        span.node_id = op_rt.node_id
+        span.worker = worker_id
+        self.start_order.append(span)
+        if run_queue is not None:
+            peek = getattr(run_queue, "peek_best_priority", None)
+            pc = msg.pc
+            if peek is not None and pc is not None:
+                best = peek()
+                if best is not None and best < pc.pri_global:
+                    self.inversions += 1
+
+    def on_execute_end(self, msg, now: float, cost: float,
+                       final: bool = True) -> None:
+        span = self.spans.get(msg.msg_id)
+        if span is None:
+            return
+        span.exec += cost
+        span.attempts += 1
+        span.finished = now
+        if final:
+            span.outcome = EXECUTED
+        # non-final (injected-exception retry): the message re-enqueues at
+        # ``now``; the retry's wait/exec extend the same span
+
+    def on_output(self, msg, now: float, latency: float) -> None:
+        span = self.spans.get(msg.msg_id)
+        if span is not None:
+            span.outcome = OUTPUT
+            span.latency = latency
+
+    def on_shed(self, msg, op_rt, now: float) -> None:
+        span = self.spans.get(msg.msg_id)
+        if span is None:
+            return
+        enqueue = msg.enqueue_time
+        if enqueue == enqueue:  # NaN-safe
+            span.wait += now - enqueue
+        span.node_id = op_rt.node_id
+        span.finished = now
+        span.outcome = SHED
+
+    def on_poison(self, msg, now: float, cost: float) -> None:
+        span = self.spans.get(msg.msg_id)
+        if span is None:
+            return
+        span.exec += cost
+        span.attempts += 1
+        span.finished = now
+        span.outcome = POISON
+
+    def on_reply(self, msg, now: float) -> None:
+        span = self.spans.get(msg.msg_id)
+        if span is not None:
+            span.replied = now
+
+    def on_lost_crash(self, msg, now: float) -> None:
+        """Queued or in-flight work died with a crashed node.  Transient:
+        the reliable layer usually replays a copy (same ``msg_id``), whose
+        later admission/execution supersedes this outcome — the gap shows
+        up as the span's ``recovery`` component."""
+        self.lost_crash_events += 1
+        span = self.spans.get(msg.msg_id)
+        if span is not None:
+            span.finished = now
+            span.outcome = LOST_CRASH
+
+    # ------------------------------------------------------------------
+    # scheduler introspection
+    # ------------------------------------------------------------------
+
+    def add_sample(self, sample: SchedSample) -> None:
+        self.samples.append(sample)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+
+    def span_of(self, msg_id: int) -> Optional[MessageSpan]:
+        return self.spans.get(msg_id)
+
+    def spans_in_send_order(self) -> list[MessageSpan]:
+        return list(self.spans.values())
+
+    def outputs(self) -> list[MessageSpan]:
+        """Sink spans that produced an output, in send order."""
+        return [s for s in self.spans.values() if s.outcome == OUTPUT]
+
+    def outcome_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for span in self.spans.values():
+            counts[span.outcome] = counts.get(span.outcome, 0) + 1
+        return counts
+
+    def summary(self) -> dict:
+        """JSON-able one-glance summary of the trace."""
+        counts = self.outcome_counts()
+        return {
+            "spans": len(self.spans),
+            "executed": counts.get(EXECUTED, 0) + counts.get(OUTPUT, 0),
+            "outputs": counts.get(OUTPUT, 0),
+            "shed": counts.get(SHED, 0),
+            "poison": counts.get(POISON, 0),
+            "lost_crash": counts.get(LOST_CRASH, 0),
+            "pending": counts.get(PENDING, 0),
+            "sched_samples": len(self.samples),
+            "priority_inversions": self.inversions,
+            "lost_crash_events": self.lost_crash_events,
+        }

@@ -71,6 +71,13 @@ class EngineConfig:
             latency is bounded by ``failure_timeout + heartbeat_interval``).
         retransmit_timeout / retransmit_backoff_cap: initial retransmission
             timer and the cap of its exponential backoff.
+        record_trace: enable the observability plane (``repro.obs``): a
+            per-hop message span recorder plus a periodic scheduler
+            sampler.  Off by default — with tracing off the runtime holds
+            no recorder at all, so the hot path is untouched and every
+            figure output stays bit-identical.
+        trace_sample_interval: cadence of scheduler-introspection samples
+            (seconds of simulated time) when ``record_trace`` is on.
         shed_expired: enable deadline-aware load shedding — messages whose
             priority-context start deadline ``ddl_M`` is already unmeetable
             are dropped at pop time instead of executed (Cameo-only
@@ -104,6 +111,8 @@ class EngineConfig:
     failure_timeout: float = 0.2
     retransmit_timeout: float = 0.05
     retransmit_backoff_cap: float = 0.8
+    record_trace: bool = False
+    trace_sample_interval: float = 0.05
     shed_expired: bool = False
     shed_slack: float = 0.0
     seed: int = 0
@@ -137,6 +146,8 @@ class EngineConfig:
             raise ValueError("retransmit timeout must be positive")
         if self.retransmit_backoff_cap < self.retransmit_timeout:
             raise ValueError("retransmit backoff cap must be >= the timeout")
+        if self.trace_sample_interval <= 0:
+            raise ValueError("trace sample interval must be positive")
         if self.shed_slack < 0:
             raise ValueError("shedding slack must be non-negative")
         if self.fault_schedule is not None:

@@ -31,6 +31,8 @@ from repro.core.shedding import DeadlineShedder
 from repro.dataflow.jobs import JobSpec
 from repro.dataflow.operators import OpAddress
 from repro.metrics.collectors import MetricsHub
+from repro.obs.introspect import SchedulerSampler
+from repro.obs.recorder import TraceRecorder
 from repro.runtime.config import EngineConfig
 from repro.runtime.lifecycle import OperatorLifecycle
 from repro.runtime.node import NodeRuntime, make_run_queue
@@ -107,6 +109,16 @@ class StreamEngine:
             self._delay_model, static_delay, self.metrics, self.profiler,
             config, builder,
         )
+        # observability plane: installed only when asked for.  The recorder
+        # is passive (never schedules, never touches an RNG) and the sampler
+        # only performs order-preserving run-queue maintenance, so traced
+        # runs stay bit-identical to untraced ones; with tracing off the
+        # runtime holds no recorder at all and the hot path is unchanged.
+        self.tracer: Optional[TraceRecorder] = None
+        self._sampler: Optional[SchedulerSampler] = None
+        if config.record_trace:
+            self.tracer = TraceRecorder()
+            self.transport.attach_tracer(self.tracer)
         # fault machinery: installed only for a non-empty schedule, so
         # fault-free runs stay bit-identical to runs without any schedule
         # (faults draw from their own named RNG substream, so even the
@@ -130,13 +142,16 @@ class StreamEngine:
             )
             self.reliable.attach(self.transport.deliver)
             self.transport.attach_reliable(self.reliable)
+            if self.tracer is not None:
+                self.reliable.attach_tracer(self.tracer)
         shedder = DeadlineShedder(config.shed_slack) if config.shed_expired else None
 
         cost_rng = self.rng.stream("exec-cost")
         for node in self.nodes:
             node.bind(self.sim, self.metrics, self.profiler, cost_rng,
                       config, self.transport, faults=self.fault_injector,
-                      reliable=self.reliable, shedder=shedder)
+                      reliable=self.reliable, shedder=shedder,
+                      tracer=self.tracer)
         self.lifecycle = OperatorLifecycle(
             self.sim, self.nodes, self._ops, self.transport
         )
@@ -147,8 +162,15 @@ class StreamEngine:
                 self.sim, self.nodes, self._ops, self.lifecycle,
                 self.reliable, self.metrics, self.fault_timeline,
                 config.heartbeat_interval, config.failure_timeout,
+                tracer=self.tracer,
             )
             self.recovery.install(schedule)
+        if self.tracer is not None:
+            self._sampler = SchedulerSampler(
+                self.sim, self.nodes, self.tracer,
+                config.trace_sample_interval,
+            )
+            self._sampler.start()
 
         for job in jobs:
             self.metrics.register_job(job.name, job.group, job.latency_constraint)

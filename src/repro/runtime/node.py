@@ -21,7 +21,6 @@ from typing import Optional
 
 from repro.core.scheduler import CameoRunQueue, RunQueue
 from repro.dataflow.messages import Message
-from repro.metrics.stats import RunningStat
 from repro.runtime.baselines import FifoRunQueue, OrleansRunQueue
 from repro.runtime.topology import OperatorRuntime
 from repro.runtime.workers import Worker
@@ -67,6 +66,7 @@ class NodeRuntime:
         "_faults",
         "_reliable",
         "_shedder",
+        "_tracer",
     )
 
     def __init__(self, node_id: int, run_queue: RunQueue):
@@ -80,11 +80,12 @@ class NodeRuntime:
         self._lifecycle = None
 
     def bind(self, sim, metrics, profiler, cost_rng, config, transport,
-             faults=None, reliable=None, shedder=None) -> None:
+             faults=None, reliable=None, shedder=None, tracer=None) -> None:
         """Attach execution-time collaborators and hot-path config caches.
 
-        ``faults`` / ``reliable`` / ``shedder`` stay None on fault-free runs
-        with shedding off, keeping the dispatch loop's extra branches dead."""
+        ``faults`` / ``reliable`` / ``shedder`` / ``tracer`` stay None on
+        fault-free runs with shedding and tracing off, keeping the dispatch
+        loop's extra branches dead."""
         self.sim = sim
         self.metrics = metrics
         self._profiler = profiler
@@ -99,6 +100,7 @@ class NodeRuntime:
         self._faults = faults
         self._reliable = reliable
         self._shedder = shedder
+        self._tracer = tracer
 
     def attach_lifecycle(self, lifecycle) -> None:
         self._lifecycle = lifecycle
@@ -236,6 +238,8 @@ class NodeRuntime:
                     released = op_rt.blocked.popleft()
                     released.enqueue_time = now
                     mailbox.push(released)
+                    if self._tracer is not None:
+                        self._tracer.on_admit(released, now)
             shedder = self._shedder
             if shedder is not None:
                 pc_shed = msg.pc
@@ -245,6 +249,8 @@ class NodeRuntime:
                     # messages that can still make it (see core/shedding.py)
                     job_metrics.messages_shed += 1
                     job_metrics.tuples_shed += msg.tuple_count
+                    if self._tracer is not None:
+                        self._tracer.on_shed(msg, op_rt, now)
                     if self._reliable is not None:
                         self._reliable.on_processed(op_rt, msg)
                     if len(mailbox) == 0:
@@ -253,16 +259,17 @@ class NodeRuntime:
                             self._lifecycle.finish_migration(op_rt)
                         return True
                     continue
+            # the wait is measured exactly once and feeds both the per-stage
+            # RunningStat and (when tracing) the span recorder — the single
+            # source of truth that keeps stats and traces in exact agreement
             enqueue_time = msg.enqueue_time
-            if enqueue_time == enqueue_time:  # not NaN
+            wait = now - enqueue_time  # NaN propagates from unset enqueue
+            if wait == wait:
                 queue_stat = op_rt.queue_stat
                 if queue_stat is None:
-                    queue_stat = job_metrics.queueing.get(stage_name)
-                    if queue_stat is None:
-                        queue_stat = RunningStat()
-                        job_metrics.queueing[stage_name] = queue_stat
+                    queue_stat = job_metrics.queueing_stat(stage_name)
                     op_rt.queue_stat = queue_stat
-                queue_stat.add(now - enqueue_time)
+                queue_stat.add(wait)
             pc = msg.pc
             if pc is not None and now > pc.deadline:
                 job_metrics.start_violations += 1
@@ -273,12 +280,12 @@ class NodeRuntime:
             cost = cost_model.sample(msg.tuple_count, cost_rng)
             exec_stat = op_rt.exec_stat
             if exec_stat is None:
-                exec_stat = job_metrics.execution.get(stage_name)
-                if exec_stat is None:
-                    exec_stat = RunningStat()
-                    job_metrics.execution[stage_name] = exec_stat
+                exec_stat = job_metrics.execution_stat(stage_name)
                 op_rt.exec_stat = exec_stat
             exec_stat.add(cost)
+            if self._tracer is not None:
+                self._tracer.on_start(msg, op_rt, worker.local_id, now,
+                                      wait, cost, self.run_queue)
             if not sim.try_advance(now + cost):
                 sim.schedule_fast(
                     cost, self._complete_message, worker, op_rt, msg, cost
@@ -307,6 +314,8 @@ class NodeRuntime:
             # died with it (fail-stop), the worker was already reset, and the
             # upstream retransmit buffer still holds the message for replay
             self.metrics.messages_lost_crash += 1
+            if self._tracer is not None:
+                self._tracer.on_lost_crash(msg, self.sim.now)
             return
         self._finish_message(worker, op_rt, msg, cost)
         if len(op_rt.mailbox) == 0:
@@ -331,6 +340,7 @@ class NodeRuntime:
         """Everything that happens at a message's completion instant."""
         now = self.sim.now
         worker.busy_time += cost
+        tracer = self._tracer
         faults = self._faults
         if faults is not None and faults.throws(op_rt.address):
             # injected operator exception: the attempt consumed its worker
@@ -341,22 +351,32 @@ class NodeRuntime:
             msg.retries += 1
             if msg.retries > faults.max_retries(op_rt.address):
                 job_metrics.poison_dropped += 1
+                if tracer is not None:
+                    tracer.on_poison(msg, now, cost)
                 if self._reliable is not None:
                     self._reliable.on_processed(op_rt, msg)
             else:
                 msg.enqueue_time = now
                 op_rt.mailbox.push(msg)
+                if tracer is not None:
+                    # the retry extends the same span (wait/exec accumulate)
+                    tracer.on_execute_end(msg, now, cost, final=False)
             return
         worker.messages_executed += 1
         job_metrics = op_rt.job_metrics
         job_metrics.messages_processed += 1
         self.metrics.total_messages += 1
+        if tracer is not None:
+            tracer.on_execute_end(msg, now, cost)
         emissions = op_rt.operator.on_message(msg, now)
         batch = msg.batch
         if op_rt.is_sink and batch is not None and len(batch) > 0:
+            latency = now - msg.t
             job_metrics.record_output(
-                now, now - msg.t, msg.tuple_count, float(batch.values.sum())
+                now, latency, msg.tuple_count, float(batch.values.sum())
             )
+            if tracer is not None:
+                tracer.on_output(msg, now, latency)
         elif op_rt.is_source:
             count = msg.tuple_count
             job_metrics.tuples_processed += count

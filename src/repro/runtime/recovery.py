@@ -39,7 +39,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.dataflow.messages import Message
-from repro.runtime.topology import OperatorRuntime
+from repro.runtime.topology import OperatorRuntime, _format_address
 
 
 class _ChannelState:
@@ -60,7 +60,8 @@ class _ChannelState:
         "src_rt", "dst_rt", "channel",
         # -- sender side --
         "next_seq", "unacked", "admitted_w", "processed_w",
-        "rto", "timer_armed", "timer_epoch",
+        "rto", "timer_armed", "timer_epoch", "timer_armed_at",
+        "backoff_time", "retransmit_count",
         # -- receiver side --
         "next_admit", "watermark", "processed", "pending",
     )
@@ -77,6 +78,9 @@ class _ChannelState:
         self.rto = rto
         self.timer_armed = False
         self.timer_epoch = 0
+        self.timer_armed_at = 0.0     # instant the live timer was armed
+        self.backoff_time = 0.0       # Σ stalls before retransmitting expiries
+        self.retransmit_count = 0     # go-back-N replays on this channel
         self.next_admit = 0           # next seq the inbox will admit
         self.watermark = -1           # cumulative processed (receiver truth)
         self.processed: set[int] = set()  # processed out of order, > watermark
@@ -114,6 +118,11 @@ class ReliableDelivery:
         self._rto_cap = rto_cap
         self._states: dict[tuple, _ChannelState] = {}
         self._admit: Optional[Callable] = None
+        self._tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Install the span recorder (``record_trace`` runs only)."""
+        self._tracer = tracer
 
     def attach(
         self, admit: Callable[[OperatorRuntime, Message, Optional[object]], None]
@@ -147,6 +156,10 @@ class ReliableDelivery:
     def _transmit(self, state: _ChannelState, msg: Message) -> None:
         """One attempt to push ``msg`` over the wire (may be lost)."""
         sim = self._sim
+        if self._tracer is not None:
+            # a wire attempt regardless of loss: the span's next retransmit
+            # gap is measured from this instant
+            self._tracer.on_transmit(msg, sim.now)
         src_node, dst_node = state.src_node, state.dst_rt.node_id
         transit = self._injector.inflate_transit(
             self._delay_model.delay(src_node, dst_node)
@@ -161,6 +174,7 @@ class ReliableDelivery:
         if state.timer_armed or not state.needs_retransmit():
             return
         state.timer_armed = True
+        state.timer_armed_at = self._sim.now
         self._sim.schedule_fast(state.rto, self._on_timer, state,
                                 state.timer_epoch)
 
@@ -171,11 +185,22 @@ class ReliableDelivery:
         if not state.needs_retransmit():
             state.rto = self._rto_initial
             return
+        # the channel sat on this timer the whole arming-to-expiry stall:
+        # charge the backoff *time* (not just a count) so attribution can
+        # blame recovery delay on the right channel
+        now = self._sim.now
+        stall = now - state.timer_armed_at
+        state.backoff_time += stall
+        self._metrics.retransmit_backoff_time += stall
+        tracer = self._tracer
         # go-back-N: replay every sent-but-unadmitted message in seq order
         for seq in range(state.admitted_w + 1, state.next_seq):
             msg = state.unacked.get(seq)
             if msg is not None:
                 self._metrics.retransmissions += 1
+                state.retransmit_count += 1
+                if tracer is not None:
+                    tracer.on_retransmit(msg, now)
                 self._transmit(state, msg)
         state.rto = min(state.rto * 2.0, self._rto_cap)
         self._arm_timer(state)
@@ -296,6 +321,24 @@ class ReliableDelivery:
         """Messages retained in retransmit buffers (not yet processed)."""
         return sum(len(s.unacked) for s in self._states.values())
 
+    def backoff_by_channel(self) -> dict[str, dict]:
+        """Per-channel retransmit accounting, for channels that backed off.
+
+        Keys are ``"sender -> receiver"`` labels; values carry the total
+        seconds spent stalled on retransmit timers (``backoff_time``) and
+        the go-back-N replay count — the per-channel decomposition of
+        ``MetricsHub.retransmit_backoff_time``."""
+        report: dict[str, dict] = {}
+        for (sender, dst), state in self._states.items():
+            if state.backoff_time == 0.0 and state.retransmit_count == 0:
+                continue
+            label = f"{_format_address(sender)} -> {_format_address(dst)}"
+            report[label] = {
+                "backoff_time": state.backoff_time,
+                "retransmissions": state.retransmit_count,
+            }
+        return report
+
 
 class FailureDetector:
     """Heartbeat-based failure detection with a configurable timeout.
@@ -362,7 +405,7 @@ class RecoveryManager:
 
     def __init__(self, sim, nodes: list, ops: dict, lifecycle, reliable,
                  metrics, timeline, heartbeat_interval: float,
-                 failure_timeout: float):
+                 failure_timeout: float, tracer=None):
         self._sim = sim
         self._nodes = nodes
         self._ops = ops
@@ -370,6 +413,7 @@ class RecoveryManager:
         self._reliable = reliable
         self._metrics = metrics
         self._timeline = timeline
+        self._tracer = tracer
         self._crash_time: dict[int, float] = {}
         self._evacuated: dict[int, list[OperatorRuntime]] = {}
         self.detector = FailureDetector(
@@ -407,13 +451,19 @@ class RecoveryManager:
                 worker.current_op = None
             worker.last_op = None
         lost = 0
+        tracer = self._tracer
         for op_rt in self._ops.values():
             if op_rt.node_id != node_id:
                 continue
             mailbox = op_rt.mailbox
             lost += len(mailbox) + len(op_rt.blocked)
             while len(mailbox) > 0:  # volatile memory: queued work dies
-                mailbox.pop()
+                dead = mailbox.pop()
+                if tracer is not None:
+                    tracer.on_lost_crash(dead, now)
+            if tracer is not None:
+                for dead in op_rt.blocked:
+                    tracer.on_lost_crash(dead, now)
             op_rt.blocked.clear()
             node.run_queue.discard(op_rt)
         self._metrics.messages_lost_crash += lost

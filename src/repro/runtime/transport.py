@@ -47,6 +47,7 @@ class Transport:
         "_capacity",
         "_ingest_cache",
         "_reliable",
+        "_tracer",
     )
 
     def __init__(
@@ -78,6 +79,14 @@ class Transport:
         self._capacity = config.source_mailbox_capacity
         self._ingest_cache: dict = {}
         self._reliable = None
+        self._tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Install the span recorder (``record_trace`` runs only).
+
+        Stays None otherwise, so the send/deliver hot paths keep a single
+        dead ``is not None`` branch — the same idiom as ``_reliable``."""
+        self._tracer = tracer
 
     def attach_reliable(self, reliable) -> None:
         """Install the reliable-delivery layer (fault-schedule runs only).
@@ -163,6 +172,8 @@ class Transport:
             channel_index=channel_index,
         )
         src_rt.job_metrics.tuples_ingested += count
+        if self._tracer is not None:
+            self._tracer.on_send(msg, -1, now)  # ingested root: no parent
         if self._reliable is not None:
             self._reliable.send(None, src_rt, channel, msg)
             return
@@ -198,6 +209,10 @@ class Transport:
         else:
             msg.enqueue_time = self.sim.now
             op_rt.mailbox.push(msg)
+        if self._tracer is not None:
+            # mailbox admission (back-pressured messages are admitted later,
+            # when the dispatch loop releases them below capacity)
+            self._tracer.on_admit(msg, self.sim.now)
         node = self._nodes[op_rt.node_id]
         hint = None
         if producer is not None and producer.node_id == op_rt.node_id:
@@ -282,6 +297,10 @@ class Transport:
             pc=pc,
             channel_index=channel_index,
         )
+        if self._tracer is not None:
+            # child span: its ``sent`` equals the trigger's completion
+            # instant, so causal chains telescope end to end
+            self._tracer.on_send(out, trigger.msg_id, now)
         if self._reliable is not None:
             self._reliable.send(src_rt, dst_rt, channel, out)
             return
@@ -333,6 +352,8 @@ class Transport:
             delay = self._delay_model.delay(op_rt.node_id, dst_node)
         if converter is None:
             return
+        if self._tracer is not None:
+            self._tracer.on_reply(msg, self.sim.now)
         self.sim.schedule_fast(delay, converter.process_reply, op_rt.stage_name, rc)
 
     # ------------------------------------------------------------------

@@ -293,3 +293,43 @@ def test_empty_schedule_installs_no_fault_machinery():
     assert engine.fault_timeline is None
     engine.run(until=6.0)
     assert engine.metrics.fault_report()["crashes"] == 0
+
+
+# ---------------------------------------------------------------------------
+# retransmit-backoff time accounting
+# ---------------------------------------------------------------------------
+
+
+def test_backoff_time_accrues_on_lossy_channels():
+    """Every retransmitting timer expiry charges the arming-to-expiry stall
+    to both the hub total and the per-channel breakdown."""
+    _, reliable = _drive_lossy_channel(0.5, seed=42, count=20)
+    hub_total = reliable._metrics.retransmit_backoff_time
+    assert hub_total > 0.0
+    by_channel = reliable.backoff_by_channel()
+    assert by_channel, "a retransmitting channel must appear in the report"
+    channel_total = sum(c["backoff_time"] for c in by_channel.values())
+    assert hub_total == pytest.approx(channel_total)
+    channel_retx = sum(c["retransmissions"] for c in by_channel.values())
+    assert channel_retx == reliable._metrics.retransmissions > 0
+    for entry in by_channel.values():
+        # each replay waited at least the initial RTO (backoff only grows)
+        assert entry["backoff_time"] >= 0.05
+
+
+def test_lossless_channels_accrue_no_backoff():
+    _, reliable = _drive_lossy_channel(0.0, seed=42, count=20)
+    assert reliable._metrics.retransmit_backoff_time == 0.0
+    assert reliable.backoff_by_channel() == {}
+
+
+def test_fault_report_exposes_backoff_time():
+    schedule = FaultSchedule(losses=[ChannelLoss(rate=0.2, scope="remote")])
+    engine = _faulted_engine(schedule)
+    engine.run(until=6.0)
+    report = engine.metrics.fault_report()
+    assert report["retransmissions"] > 0
+    assert report["retransmit_backoff_time"] > 0.0
+    by_channel = engine.reliable.backoff_by_channel()
+    assert sum(c["backoff_time"] for c in by_channel.values()) == \
+        pytest.approx(report["retransmit_backoff_time"])

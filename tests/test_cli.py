@@ -100,3 +100,61 @@ class TestTopologySubcommand:
     def test_rejects_empty_mix(self):
         with pytest.raises(SystemExit):
             cli.main(["topology", "--ls", "0", "--ba", "0"])
+
+
+class TestTraceSubcommand:
+    """`repro trace` runs a traced scenario and exports both trace files."""
+
+    def _run(self, tmp_path, capsys, *extra):
+        import json
+
+        args = ["trace", "mix", "--ls", "1", "--ba", "1", "--duration", "2",
+                "--out", str(tmp_path), *extra]
+        assert cli.main(args) == 0
+        out = capsys.readouterr().out
+        summary = json.loads(out.split("\n\n")[0])
+        return summary, out
+
+    def test_writes_validated_trace_files(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.schema import validate_chrome_trace
+
+        summary, _ = self._run(tmp_path, capsys)
+        chrome = tmp_path / "trace_mix_cameo.json"
+        jsonl = tmp_path / "trace_mix_cameo.jsonl"
+        assert chrome.exists() and jsonl.exists()
+        payload = json.loads(chrome.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert summary["trace"]["spans"] > 0
+        assert summary["trace"]["outputs"] > 0
+        lines = jsonl.read_text().splitlines()
+        assert json.loads(lines[0])["type"] == "meta"
+        assert len(lines) == 1 + summary["trace"]["spans"] + \
+            summary["trace"]["sched_samples"]
+
+    def test_attribution_flag_prints_table(self, tmp_path, capsys):
+        _, out = self._run(tmp_path, capsys, "--attribution")
+        # every traced job gets a header line, missed or not
+        assert "outputs missed the" in out
+        assert "ls0" in out and "ba0" in out
+
+    def test_ext_faults_scenario_reports_backoff(self, tmp_path, capsys):
+        import json
+
+        args = ["trace", "ext_faults", "--ls", "1", "--ba", "1",
+                "--duration", "4", "--out", str(tmp_path), "--seed", "2"]
+        assert cli.main(args) == 0
+        summary = json.loads(capsys.readouterr().out.split("\n\n")[0])
+        assert "backoff_by_channel" in summary
+        assert summary["retransmit_backoff_time"] >= 0.0
+        assert (tmp_path / "trace_ext_faults_cameo.json").exists()
+
+    def test_schema_cli_validates_written_trace(self, tmp_path, capsys):
+        from repro.obs import schema
+
+        self._run(tmp_path, capsys)
+        path = str(tmp_path / "trace_mix_cameo.json")
+        assert schema.main([path]) == 0
+        out = capsys.readouterr().out
+        assert "ok (" in out
