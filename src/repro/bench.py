@@ -47,7 +47,10 @@ def bench_fig08_multi_tenant(duration: float = 30.0, seed: int = 4) -> dict:
     """The fig08 multi-tenant cell (all three schedulers), timed end-to-end."""
     from repro.experiments.common import TenantMix, run_tenant_mix
 
-    result: dict = {"kind": "workload", "unit": "s", "schedulers": {}}
+    result: dict = {
+        "kind": "workload", "unit": "s", "backend": "sim",
+        "nodes": 2, "workers_per_node": 2, "schedulers": {},
+    }
     total = 0.0
     messages = 0
     for scheduler in ("cameo", "orleans", "fifo"):
@@ -82,9 +85,71 @@ def bench_fig07_single_tenant(duration: float = 20.0, seed: int = 2) -> dict:
     return {
         "kind": "workload",
         "unit": "s",
+        "backend": "sim",
+        "nodes": 1,
+        "workers_per_node": 4,
         "seconds": elapsed,
         "messages": engine.metrics.total_messages,
     }
+
+
+def bench_mp_scaling(
+    duration: float = 6.0, seed: int = 4, worker_counts=(1, 2, 4)
+) -> dict:
+    """Process-backend wall-clock scaling: the same captured trace executed
+    for real at 1/2/4 worker processes (``backend="mp"``, flooded replay).
+
+    The trace and the per-message cost samples' totals are fixed by the
+    workload, so wall-clock seconds measure how well the runtime spreads
+    the execution across processes; ``speedup_vs_1`` at the highest worker
+    count is the tentpole's headline number (target: >= 2x at 4 workers).
+
+    Placement is ``pack_by_job`` (the slot-reserved deployment): every
+    job's address block is a multiple of 4 operators long, so round-robin
+    placement aliases with a 4-node cluster and piles every job's
+    expensive aggregation stage onto the same two nodes — packing by job
+    spreads the six jobs' cost evenly and is the configuration a
+    throughput scaling claim is about.
+    """
+    from repro.experiments.common import TenantMix, run_tenant_mix
+
+    result: dict = {
+        "kind": "workload", "unit": "s", "backend": "mp", "workers": {},
+    }
+    total = 0.0
+    messages = 0
+    base: Optional[float] = None
+    for workers in worker_counts:
+        mix = TenantMix(ls_count=2, ba_count=4, ba_msg_rate=10.0)
+        start = time.perf_counter()
+        engine = run_tenant_mix(
+            "cameo", mix, duration=duration, drain=0.0, seed=seed,
+            nodes=workers, workers_per_node=1,
+            config_overrides={
+                "backend": "mp",
+                "mp_realtime": False,
+                "placement": "pack_by_job",
+            },
+        )
+        elapsed = time.perf_counter() - start
+        count = engine.metrics.total_messages
+        entry = {
+            "seconds": elapsed,
+            "messages": count,
+            "us_per_message": elapsed / count * 1e6 if count else float("nan"),
+            "fifo_violations": engine.info["fifo_violations"],
+        }
+        if base is None:
+            base = elapsed
+        entry["speedup_vs_1"] = base / elapsed if elapsed else float("inf")
+        result["workers"][str(workers)] = entry
+        total += elapsed
+        messages += count
+    result["seconds"] = total
+    result["messages"] = messages
+    result["max_workers"] = max(worker_counts)
+    result["speedup_at_max"] = result["workers"][str(max(worker_counts))]["speedup_vs_1"]
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -253,11 +318,16 @@ def bench_message_alloc(n: int = 200_000, repeats: int = 3) -> dict:
 BENCHES: dict = {
     "fig08_multi_tenant": (bench_fig08_multi_tenant, {"duration": 5.0}),
     "fig07_single_tenant": (bench_fig07_single_tenant, {"duration": 5.0}),
+    "mp_scaling": (bench_mp_scaling, {"duration": 3.0, "worker_counts": (1, 2)}),
     "kernel_events": (bench_kernel_events, {"n": 20_000, "repeats": 2}),
     "scheduler_fanin": (bench_scheduler_fanin, {"n": 10_000, "repeats": 2}),
     "scheduler_churn": (bench_scheduler_churn, {"n": 10_000, "repeats": 2}),
     "message_alloc": (bench_message_alloc, {"n": 20_000, "repeats": 2}),
 }
+
+#: which execution backend each bench exercises (default: "sim");
+#: ``--backend`` selects the subset to run
+BENCH_BACKEND: dict = {"mp_scaling": "mp"}
 
 #: benches the acceptance gate aggregates ("scheduler/kernel microbenches");
 #: message_alloc is reported alongside but measures allocation, not the
@@ -266,17 +336,22 @@ MICRO_BENCHES = ("kernel_events", "scheduler_fanin", "scheduler_churn")
 
 
 def run_benches(
-    label: str, quick: bool = False, only: Optional[list[str]] = None
+    label: str, quick: bool = False, only: Optional[list[str]] = None,
+    backend: str = "sim",
 ) -> dict:
     report: dict = {
         "label": label,
         "quick": quick,
+        "backend": backend,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "benches": {},
     }
     for name, (factory, quick_kwargs) in BENCHES.items():
-        if only and name not in only:
+        if only:
+            if name not in only:  # explicit names override the backend filter
+                continue
+        elif backend != "all" and BENCH_BACKEND.get(name, "sim") != backend:
             continue
         kwargs = quick_kwargs if quick else {}
         print(f"  [{name}] ...", end="", flush=True)
@@ -354,6 +429,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--quick", action="store_true", help="reduced sizes (CI smoke run)"
     )
     parser.add_argument(
+        "--backend", choices=("sim", "mp", "all"), default="sim",
+        help="which execution backend's benches to run (default: sim)",
+    )
+    parser.add_argument(
         "--bench", action="append", default=None, metavar="NAME",
         help=f"run only the named bench(es); known: {', '.join(BENCHES)}",
     )
@@ -366,8 +445,13 @@ def main(argv: Optional[list[str]] = None) -> int:
     if args.compare and not pathlib.Path(args.compare).is_file():
         parser.error(f"--compare file not found: {args.compare}")
 
-    print(f"running benches (label={args.label}, quick={args.quick})")
-    report = run_benches(args.label, quick=args.quick, only=args.bench)
+    print(
+        f"running benches (label={args.label}, quick={args.quick}, "
+        f"backend={args.backend})"
+    )
+    report = run_benches(
+        args.label, quick=args.quick, only=args.bench, backend=args.backend
+    )
 
     out_path = pathlib.Path(args.out) / f"BENCH_{args.label}.json"
     out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

@@ -58,6 +58,23 @@ class PriorityContext:
         """PCs are inherited (copied, then modified) by downstream messages."""
         return replace(self)
 
+    # slots dataclasses only pickle under protocol >= 2 on Python 3.11;
+    # PCs travel inside messages over the process backend's pipes, so
+    # explicit state methods make every protocol work
+    def __getstate__(self) -> tuple:
+        return (
+            self.msg_id, self.pri_local, self.pri_global, self.p_mf,
+            self.t_mf, self.latency_constraint, self.deadline,
+            self.token_interval,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        (
+            self.msg_id, self.pri_local, self.pri_global, self.p_mf,
+            self.t_mf, self.latency_constraint, self.deadline,
+            self.token_interval,
+        ) = state
+
     @property
     def priority_pair(self) -> tuple[float, float]:
         return (self.pri_local, self.pri_global)
@@ -80,6 +97,14 @@ class ReplyContext:
     c_path: float = 0.0
     queueing_delay: float = 0.0
     mailbox_size: int = 0
+
+    def __getstate__(self) -> tuple:
+        # see PriorityContext.__getstate__: RCs ride acknowledgement
+        # entries over the process backend's pipes
+        return (self.c_m, self.c_path, self.queueing_delay, self.mailbox_size)
+
+    def __setstate__(self, state: tuple) -> None:
+        (self.c_m, self.c_path, self.queueing_delay, self.mailbox_size) = state
 
     @property
     def downstream_cost(self) -> float:

@@ -79,6 +79,26 @@ class EventBatch:
         #: needed on the hot path).  Selection preserves the property.
         self.times_sorted = times_sorted
 
+    # -- pickling ------------------------------------------------------
+    # Explicit state methods so batches pickle under every protocol (a
+    # bare ``__slots__`` class needs protocol >= 2) without re-running the
+    # validating constructor on the receiving side.
+
+    def __getstate__(self) -> tuple:
+        return (
+            self.logical_times, self.values, self.keys,
+            self.arrival_time, self.source_id, self.times_sorted,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        (
+            self.logical_times, self.values, self.keys,
+            self.arrival_time, self.source_id, self.times_sorted,
+        ) = state
+
+    def __reduce__(self):
+        return (_rebuild_batch, (self.__getstate__(),))
+
     def __len__(self) -> int:
         return len(self.logical_times)
 
@@ -161,3 +181,10 @@ class EventBatch:
             f"EventBatch(n={len(self)}, p_max={self.max_logical_time:.3f}, "
             f"arrival={self.arrival_time:.3f})"
         )
+
+
+def _rebuild_batch(state: tuple) -> EventBatch:
+    """Pickle reconstructor: restores without re-validating arrays."""
+    batch = EventBatch.__new__(EventBatch)
+    batch.__setstate__(state)
+    return batch

@@ -97,6 +97,25 @@ class Message:
         self.seq = -1
         self.retries = 0
 
+    # -- pickling ------------------------------------------------------
+    # A bare ``__slots__`` class pickles only under protocol >= 2; the
+    # explicit tuple-based state methods make every protocol work (the
+    # process backend ships messages over pipes, and snapshots may choose
+    # their own protocol) and skip the per-slot dict the default slot
+    # reduction would build.  ``msg_id`` travels with the state: an
+    # unpickled message is the *same* message, not a new one, so the
+    # global id counter is never consulted on the receiving side.
+
+    def __getstate__(self) -> tuple:
+        return tuple(getattr(self, slot) for slot in Message.__slots__)
+
+    def __setstate__(self, state: tuple) -> None:
+        for slot, value in zip(Message.__slots__, state):
+            setattr(self, slot, value)
+
+    def __reduce__(self):
+        return (_rebuild_message, (self.__getstate__(),))
+
     @property
     def tuple_count(self) -> int:
         """Number of event tuples carried (ACKs carry none)."""
@@ -107,6 +126,13 @@ class Message:
             f"Message(id={self.msg_id}, kind={self.kind.value}, target={self.target}, "
             f"p={self.p:.3f}, t={self.t:.3f}, n={self.tuple_count})"
         )
+
+
+def _rebuild_message(state: tuple) -> Message:
+    """Pickle reconstructor: bypasses ``__init__`` (no id allocation)."""
+    msg = Message.__new__(Message)
+    msg.__setstate__(state)
+    return msg
 
 
 def reset_message_ids() -> None:

@@ -21,7 +21,7 @@ from typing import Callable, Optional, Sequence
 from repro.dataflow.jobs import JobSpec
 from repro.metrics.report import format_table
 from repro.runtime.config import EngineConfig
-from repro.runtime.engine import StreamEngine
+from repro.runtime.engine import StreamEngine, make_engine
 from repro.workloads.arrivals import (
     ArrivalProcess,
     BatchSizer,
@@ -138,7 +138,9 @@ def run_tenant_mix(
         **overrides,
     )
     jobs = mix.build_jobs()
-    engine = StreamEngine(config, jobs)
+    # backend="mp" (via config_overrides) swaps in the process-backed engine;
+    # the sim default goes through the same factory and stays bit-identical
+    engine = make_engine(config, jobs)
     mix.install_drivers(
         engine, jobs, duration,
         ls_arrivals=ls_arrivals, ba_arrivals=ba_arrivals,

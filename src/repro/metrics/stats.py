@@ -59,6 +59,28 @@ class RunningStat:
         if value > self.max:
             self.max = value
 
+    def merge(self, other: "RunningStat") -> None:
+        """Fold another stat into this one (parallel Welford/Chan merge).
+
+        Used when per-process stats are aggregated after an mp-backend run;
+        merging is exact for count/mean/max and for the variance
+        accumulator."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self.max = other.max
+            self._m2 = other._m2
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        if other.max > self.max:
+            self.max = other.max
+
     @property
     def std(self) -> float:
         if self.count < 2:

@@ -15,6 +15,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (keep sim/ import lazy)
 
 SCHEDULERS = ("cameo", "orleans", "fifo")
 POLICIES = ("llf", "edf", "sjf", "constant", "token")
+BACKENDS = ("sim", "mp")
+MP_COST_MODES = ("sleep", "none")
 
 
 @dataclass
@@ -84,6 +86,28 @@ class EngineConfig:
             graceful degradation; FIFO/Orleans carry no deadlines to shed
             by, so the knob has no effect without contexts).
         shed_slack: lateness tolerated before shedding (seconds).
+        backend: ``"sim"`` (discrete-event simulation, the default) or
+            ``"mp"`` (real multiprocessing backend: each node is a worker
+            process exchanging framed, batched messages over pipes through
+            a :class:`~repro.runtime.mp.transport.ProcessTransport`; see
+            ``docs/architecture.md`` "Process backend").  ``nodes`` is the
+            worker-process count in mp mode; each worker executes its
+            node's operators serially.
+        mp_cost_mode: how the mp backend realizes sampled execution costs
+            in wall-clock time: ``"sleep"`` occupies the worker for the
+            sampled duration (costs overlap across processes, so N workers
+            give ~N× throughput even on few cores), ``"none"`` skips cost
+            realization (pure runtime-overhead measurement).
+        mp_loss_rate: probability that the mp backend's receiver drops an
+            incoming data entry before admission (simulated lossy network
+            over the real pipes) — exercises the go-back-N retransmit
+            path end to end.  0 disables loss.
+        mp_realtime: pace the ingest replay on the wall clock (trace time
+            = wall time), making wall-clock latencies comparable to the
+            job latency constraints.  Off = replay as fast as the workers
+            absorb (throughput benchmarking).
+        mp_wall_timeout: hard wall-clock cap (seconds) on an mp run;
+            ``None`` derives a generous default from the run duration.
     """
 
     scheduler: str = "cameo"
@@ -115,11 +139,26 @@ class EngineConfig:
     trace_sample_interval: float = 0.05
     shed_expired: bool = False
     shed_slack: float = 0.0
+    backend: str = "sim"
+    mp_cost_mode: str = "sleep"
+    mp_loss_rate: float = 0.0
+    mp_realtime: bool = True
+    mp_wall_timeout: Optional[float] = None
     seed: int = 0
 
     def __post_init__(self):
         if self.scheduler not in SCHEDULERS:
             raise ValueError(f"unknown scheduler {self.scheduler!r}; expected {SCHEDULERS}")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; expected {BACKENDS}")
+        if self.mp_cost_mode not in MP_COST_MODES:
+            raise ValueError(
+                f"unknown mp cost mode {self.mp_cost_mode!r}; expected {MP_COST_MODES}"
+            )
+        if not 0.0 <= self.mp_loss_rate < 1.0:
+            raise ValueError("mp loss rate must be within [0, 1)")
+        if self.mp_wall_timeout is not None and self.mp_wall_timeout <= 0:
+            raise ValueError("mp wall timeout must be positive")
         if self.policy not in POLICIES:
             raise ValueError(f"unknown policy {self.policy!r}; expected {POLICIES}")
         if self.nodes < 1 or self.workers_per_node < 1:

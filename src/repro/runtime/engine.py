@@ -51,6 +51,21 @@ from repro.sim.network import ChannelTable, ConstantDelay, JitteredDelay
 from repro.sim.rng import RngRegistry
 
 
+def make_engine(config: EngineConfig, jobs: list[JobSpec], policy=None):
+    """Backend selector: the one place ``config.backend`` is dispatched on.
+
+    ``"sim"`` (the default) returns the discrete-event :class:`StreamEngine`
+    unchanged — sim runs stay bit-identical whether built directly or
+    through this factory.  ``"mp"`` returns the process-backed
+    :class:`~repro.runtime.mp.engine.MpStreamEngine` (imported lazily so
+    the sim path never touches multiprocessing)."""
+    if config.backend == "mp":
+        from repro.runtime.mp.engine import MpStreamEngine
+
+        return MpStreamEngine(config, jobs, policy=policy)
+    return StreamEngine(config, jobs, policy=policy)
+
+
 class StreamEngine:
     """Runs a set of jobs on a simulated cluster under one scheduler."""
 

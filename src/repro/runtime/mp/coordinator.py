@@ -1,0 +1,419 @@
+"""Coordinator of the mp backend: spawn, feed, watch, collect.
+
+The coordinator is the parent process.  It creates the full pipe mesh
+(coordinator <-> worker plus worker <-> worker, all before forking so
+every process inherits its ends), forks one worker per configured node,
+replays the deterministically captured ingest trace into the source
+owners, watches heartbeats for failures, and finally collects and merges
+every worker's :class:`~repro.metrics.collectors.MetricsHub`.
+
+Ingest durability (the upstream-backup story): the coordinator assigns a
+per-source sequence number to every trace entry and keeps the entry in a
+ledger until the owning worker's heartbeat reports a processed watermark
+at or past it.  When a worker dies, the dead node's operators are
+reassigned round-robin to the survivors, a ``REWIRE`` frame announces the
+new placement to everyone (senders re-incarnate their channels with a
+reset + replay), and the un-acked ledger suffix of every moved source is
+replayed to its new owner.  Messages that had been *admitted* to the dead
+node's mailboxes but not processed are re-sent by their upstream's
+go-back-N buffer; in-flight window state of moved operators is rebuilt
+from scratch — the same at-least-once contract as the sim backend's
+recovery layer, realized across real process boundaries.
+
+Termination is a distributed quiescence check: the trace is fully sent,
+every ledger is empty (all ingest processed), and every live worker
+reported itself idle (empty run queue, no unacked channels, no pending
+output) in two consecutive heartbeats.  A hard wall-clock deadline
+(``mp_wall_timeout``) bounds the run if quiescence is never reached.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from multiprocessing.connection import wait as conn_wait
+
+from repro.dataflow.operators import OpAddress
+from repro.metrics.collectors import MetricsHub
+from repro.runtime.mp.frames import (
+    HB,
+    INGEST,
+    READY,
+    REPORT,
+    REWIRE,
+    START,
+    STOP,
+    recv_frame,
+    send_frame,
+)
+from repro.runtime.mp.worker import worker_main
+from repro.runtime.placement import Placement
+from repro.runtime.topology import client_key
+
+#: max ingest entries per INGEST frame (bounds frame size and fairness)
+_INGEST_CHUNK = 256
+#: paced replay sends entries up to this far ahead of the wall clock
+_LOOKAHEAD = 0.05
+
+
+def merge_job_metrics(into, other) -> None:
+    """Fold one worker's per-job record into the aggregate."""
+    into.output_times.extend(other.output_times)
+    into.latencies.extend(other.latencies)
+    into.output_tuples.extend(other.output_tuples)
+    into.output_values.extend(other.output_values)
+    into.source_events.extend(other.source_events)
+    into.start_violations += other.start_violations
+    into.backpressure_events += other.backpressure_events
+    into.max_source_mailbox = max(into.max_source_mailbox, other.max_source_mailbox)
+    into.messages_processed += other.messages_processed
+    into.messages_shed += other.messages_shed
+    into.tuples_shed += other.tuples_shed
+    into.operator_exceptions += other.operator_exceptions
+    into.poison_dropped += other.poison_dropped
+    into.tuples_ingested += other.tuples_ingested
+    into.tuples_processed += other.tuples_processed
+    for stage, stat in other.queueing.items():
+        into.queueing_stat(stage).merge(stat)
+    for stage, stat in other.execution.items():
+        into.execution_stat(stage).merge(stat)
+
+
+def merge_hub(into: MetricsHub, other: MetricsHub) -> None:
+    """Fold one worker's hub into the aggregate (jobs pre-registered)."""
+    for name in other.job_names:
+        merge_job_metrics(into.job(name), other.job(name))
+    into._timeline_times.extend(other._timeline_times)
+    into._timeline_jobs.extend(other._timeline_jobs)
+    into._timeline_stages.extend(other._timeline_stages)
+    into._timeline_indices.extend(other._timeline_indices)
+    into._timeline_progress.extend(other._timeline_progress)
+    into.completion_log.extend(other.completion_log)
+    into.worker_busy.update(other.worker_busy)
+    into.total_messages += other.total_messages
+    into.total_acks += other.total_acks
+    into.messages_lost_network += other.messages_lost_network
+    into.messages_lost_crash += other.messages_lost_crash
+    into.messages_dropped_down += other.messages_dropped_down
+    into.retransmissions += other.retransmissions
+    into.retransmit_backoff_time += other.retransmit_backoff_time
+    into.duplicates_dropped += other.duplicates_dropped
+    into.acks_lost += other.acks_lost
+
+
+def _sort_outputs(job_metrics) -> None:
+    """Worker reports interleave; restore global time order per job."""
+    if not job_metrics.output_times:
+        job_metrics.source_events.sort()
+        return
+    order = sorted(range(len(job_metrics.output_times)),
+                   key=job_metrics.output_times.__getitem__)
+    job_metrics.output_times = [job_metrics.output_times[i] for i in order]
+    job_metrics.latencies = [job_metrics.latencies[i] for i in order]
+    job_metrics.output_tuples = [job_metrics.output_tuples[i] for i in order]
+    job_metrics.output_values = [job_metrics.output_values[i] for i in order]
+    job_metrics.source_events.sort()
+
+
+class MpCoordinator:
+    """Parent-process orchestration of one mp-backend run."""
+
+    def __init__(self, config, jobs: list, policy, trace: list,
+                 kills: list | None = None, until: float = 0.0):
+        self._config = config
+        self._jobs = jobs
+        self._policy = policy
+        self._trace = trace
+        self._kills = sorted(kills or [])
+        self._until = until
+        self._n = config.nodes
+        #: live placement view (address -> node), updated on fail-over
+        self._op_node = self._initial_placement()
+        self.info: dict = {}
+
+    def _initial_placement(self) -> dict:
+        """Replicate the builder's placement (pure function of config)."""
+        addresses = []
+        for job in self._jobs:
+            for stage_name in job.graph.stage_names:
+                stage = job.graph.stage(stage_name)
+                for index in range(stage.parallelism):
+                    addresses.append(OpAddress(job.name, stage_name, index))
+        placement = Placement(self._config.placement, self._config.nodes)
+        return dict(placement.assign(addresses))
+
+    def _source_owner(self, src_key: tuple) -> int:
+        _, job, stage, index = src_key
+        return self._op_node[OpAddress(job, stage, index)]
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> MetricsHub:
+        config = self._config
+        ctx = multiprocessing.get_context("fork")
+        coord_ends, child_ends = [], []
+        for _ in range(self._n):
+            parent, child = ctx.Pipe(duplex=True)
+            coord_ends.append(parent)
+            child_ends.append(child)
+        peer_ends: dict[int, dict] = {i: {} for i in range(self._n)}
+        for i in range(self._n):
+            for j in range(i + 1, self._n):
+                end_i, end_j = ctx.Pipe(duplex=True)
+                peer_ends[i][j] = end_i
+                peer_ends[j][i] = end_j
+        procs = [
+            ctx.Process(
+                target=worker_main,
+                args=(i, config, self._jobs, self._policy,
+                      child_ends[i], peer_ends[i]),
+                daemon=True,
+            )
+            for i in range(self._n)
+        ]
+        for proc in procs:
+            proc.start()
+        # the parent needs only its coordinator ends; close the rest so
+        # worker-side buffers are owned by the workers alone
+        for conn in child_ends:
+            conn.close()
+        for ends in peer_ends.values():
+            for conn in ends.values():
+                conn.close()
+
+        try:
+            return self._orchestrate(coord_ends, procs)
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in procs:
+                proc.join(timeout=5.0)
+            for conn in coord_ends:
+                conn.close()
+
+    # ------------------------------------------------------------------
+
+    def _orchestrate(self, conns: list, procs: list) -> MetricsHub:
+        config = self._config
+        ready = set()
+        deadline = time.monotonic() + 60.0
+        while len(ready) < self._n:
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"workers never became ready: {sorted(ready)}"
+                )
+            for event in conn_wait(
+                [conns[i] for i in range(self._n) if i not in ready],
+                timeout=1.0,
+            ):
+                kind, payload = recv_frame(event)
+                assert kind == READY
+                ready.add(payload)
+        epoch = time.monotonic()
+        for conn in conns:
+            send_frame(conn, START, epoch)
+
+        # ingest ledger: sequence entries in trace order, retain until the
+        # owner's heartbeat watermark passes them
+        pending = deque()
+        next_seq: dict[tuple, int] = {}
+        last_seq: dict[tuple, int] = {}
+        ledger: dict[tuple, deque] = {}
+        acked: dict[tuple, int] = {}
+        for trace_time, src_key, times, values, keys, sorted_times in self._trace:
+            seq = next_seq.get(src_key, 0)
+            next_seq[src_key] = seq + 1
+            last_seq[src_key] = seq
+            entry = (src_key, seq, trace_time, times, values, keys, sorted_times)
+            pending.append((trace_time, entry))
+        for src_key in next_seq:
+            ledger[src_key] = deque()
+            acked[src_key] = -1
+
+        alive = set(range(self._n))
+        now = 0.0
+        last_hb = {i: 0.0 for i in alive}
+        idle_streak = {i: 0 for i in alive}
+        kills = deque(self._kills)
+        crash_time: dict[int, float] = {}
+        fault_log: list[tuple[int, float, float]] = []
+        crashes = 0
+        realtime = config.mp_realtime
+        wall_limit = config.mp_wall_timeout or max(30.0, self._until * 3.0 + 10.0)
+        forced_stop = False
+        hb_interval = config.heartbeat_interval
+
+        def elapsed() -> float:
+            return time.monotonic() - epoch
+
+        while True:
+            now = elapsed()
+            while kills and now >= kills[0][0]:
+                _, node_id = kills.popleft()
+                if node_id in alive and procs[node_id].is_alive():
+                    procs[node_id].kill()
+                    crash_time[node_id] = now
+                    crashes += 1
+            self._feed(pending, ledger, conns, alive, now, realtime)
+            self._drain_control(conns, alive, last_hb, idle_streak,
+                                ledger, acked, elapsed)
+            now = elapsed()
+            dead = [
+                i for i in alive
+                if now - last_hb[i] > config.failure_timeout
+                and not procs[i].is_alive()
+            ]
+            for node_id in dead:
+                if len(alive) == 1:
+                    raise RuntimeError("every worker died; no survivors")
+                alive.discard(node_id)
+                fault_log.append(
+                    (node_id, crash_time.get(node_id, last_hb[node_id]), now)
+                )
+                self._fail_over(node_id, alive, conns, ledger, acked, last_seq)
+                for i in alive:
+                    idle_streak[i] = 0  # re-quiesce after the rewire
+            if (
+                not pending
+                and all(acked[k] >= last_seq[k] for k in last_seq)
+                and all(idle_streak[i] >= 2 for i in alive)
+            ):
+                break
+            if now > wall_limit:
+                forced_stop = True
+                break
+            timeout = hb_interval
+            if pending and realtime:
+                timeout = min(timeout, max(0.0, pending[0][0] - elapsed()))
+            if timeout > 0:
+                conn_wait([conns[i] for i in alive], timeout=min(timeout, 0.05))
+
+        for i in alive:
+            try:
+                send_frame(conns[i], STOP)
+            except (BrokenPipeError, OSError):
+                pass
+        reports = self._collect_reports(conns, alive)
+        metrics = self._merge(reports)
+        metrics.crashes = crashes
+        metrics.failure_detections.extend(fault_log)
+        self.info = {
+            "wall_time": elapsed(),
+            "workers": self._n,
+            "survivors": sorted(alive),
+            "forced_stop": forced_stop,
+            "reports": {node: stats for node, (_, stats) in reports.items()},
+            "fifo_violations": sum(
+                stats["fifo_violations"] for _, stats in reports.values()
+            ),
+        }
+        return metrics
+
+    # ------------------------------------------------------------------
+
+    def _feed(self, pending: deque, ledger: dict, conns: list, alive: set,
+              now: float, realtime: bool) -> None:
+        """Ship due trace entries, chunked per owner node."""
+        horizon = now + _LOOKAHEAD
+        batches: dict[int, list] = {}
+        budget = _INGEST_CHUNK * max(1, len(alive))
+        while pending and budget > 0:
+            trace_time, entry = pending[0]
+            if realtime and trace_time > horizon:
+                break
+            pending.popleft()
+            budget -= 1
+            src_key = entry[0]
+            ledger[src_key].append(entry)
+            batches.setdefault(self._source_owner(src_key), []).append(entry)
+        for node_id, entries in batches.items():
+            conn = conns[node_id]
+            for start in range(0, len(entries), _INGEST_CHUNK):
+                try:
+                    send_frame(conn, INGEST, entries[start:start + _INGEST_CHUNK])
+                except (BrokenPipeError, OSError):
+                    break  # owner died; the ledger replays after fail-over
+
+    def _drain_control(self, conns: list, alive: set, last_hb: dict,
+                       idle_streak: dict, ledger: dict, acked: dict,
+                       elapsed) -> None:
+        for i in list(alive):
+            conn = conns[i]
+            while True:
+                try:
+                    if not conn.poll():
+                        break
+                    kind, payload = recv_frame(conn)
+                except (EOFError, OSError):
+                    break
+                if kind != HB:
+                    continue  # stray frame (late REPORT after forced stop)
+                node_id, idle, ingest_acks, _processed = payload
+                last_hb[node_id] = elapsed()
+                idle_streak[node_id] = idle_streak[node_id] + 1 if idle else 0
+                for src_key, watermark in ingest_acks.items():
+                    if watermark > acked.get(src_key, -1):
+                        acked[src_key] = watermark
+                        entries = ledger[src_key]
+                        while entries and entries[0][1] <= watermark:
+                            entries.popleft()
+
+    def _fail_over(self, dead: int, alive: set, conns: list,
+                   ledger: dict, acked: dict, last_seq: dict) -> None:
+        """Reassign the dead node's operators and replay unacked ingest."""
+        survivors = sorted(alive)
+        mapping = {}
+        slot = 0
+        for address, node_id in self._op_node.items():
+            if node_id == dead:
+                mapping[address] = survivors[slot % len(survivors)]
+                slot += 1
+        self._op_node.update(mapping)
+        for i in alive:
+            try:
+                send_frame(conns[i], REWIRE, (mapping, dead))
+            except (BrokenPipeError, OSError):
+                pass
+        for src_key in ledger:
+            _, job, stage, index = src_key
+            if OpAddress(job, stage, index) not in mapping:
+                continue
+            replays = [e for e in ledger[src_key] if e[1] > acked[src_key]]
+            conn = conns[self._source_owner(src_key)]
+            for start in range(0, len(replays), _INGEST_CHUNK):
+                try:
+                    send_frame(conn, INGEST, replays[start:start + _INGEST_CHUNK])
+                except (BrokenPipeError, OSError):
+                    break
+
+    def _collect_reports(self, conns: list, alive: set) -> dict:
+        reports: dict[int, tuple] = {}
+        deadline = time.monotonic() + 30.0
+        waiting = set(alive)
+        while waiting and time.monotonic() < deadline:
+            for event in conn_wait([conns[i] for i in waiting], timeout=1.0):
+                try:
+                    kind, payload = recv_frame(event)
+                except (EOFError, OSError):
+                    for i in list(waiting):
+                        if conns[i] is event:
+                            waiting.discard(i)
+                    continue
+                if kind == REPORT:
+                    node_id, hub, stats = payload
+                    reports[node_id] = (hub, stats)
+                    waiting.discard(node_id)
+        return reports
+
+    def _merge(self, reports: dict) -> MetricsHub:
+        metrics = MetricsHub()
+        for job in self._jobs:
+            metrics.register_job(job.name, job.group, job.latency_constraint)
+        for _, (hub, _stats) in sorted(reports.items()):
+            merge_hub(metrics, hub)
+        for name in metrics.job_names:
+            _sort_outputs(metrics.job(name))
+        metrics.completion_log.sort(key=lambda entry: entry[0])
+        return metrics

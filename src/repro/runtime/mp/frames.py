@@ -1,0 +1,58 @@
+"""Wire frames of the process backend.
+
+Everything crossing a pipe is one *frame*: a pickled ``(kind, payload)``
+tuple written with ``Connection.send_bytes`` (one length-prefixed syscall
+per frame).  Data-plane frames are *batched*: a single ``DATA`` frame
+carries every entry a worker produced for one destination during a
+dispatch quantum — messages, coalesced cumulative acks, reply contexts
+and channel resets — so the hot send path pays one syscall per quantum,
+not one per message.
+
+Frame kinds
+-----------
+
+========  =========  ====================================================
+kind      direction  payload
+========  =========  ====================================================
+READY     w -> c     ``node_id`` — worker finished booting its topology
+START     c -> w     ``epoch`` — shared wall-clock base (CLOCK_MONOTONIC)
+INGEST    c -> w     list of ``(src_key, seq, trace_time, times, values,
+                     keys, sorted)`` ingest entries
+DATA      w <-> w    list of entries: ``("msg", Message)``,
+                     ``("ack", channel_key, admitted, processed)``,
+                     ``("reply", sender_key, replier_stage, rc)``,
+                     ``("reset", channel_key, base_seq)``
+HB        w -> c     ``(node_id, idle, ingest_acks, processed_total)``
+REWIRE    c -> w     ``({address: new_node_id}, dead_node_id)``
+STOP      c -> w     ``None`` — drain nothing further, report and exit
+REPORT    w -> c     ``(node_id, MetricsHub, worker_stats)``
+========  =========  ====================================================
+
+Messages, contexts and batches are pickle-clean by construction (explicit
+``__getstate__``/``__setstate__`` on every ``__slots__`` hot-path class),
+so frames carry the exact runtime objects — no translation layer.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+READY = "ready"
+START = "start"
+INGEST = "ingest"
+DATA = "data"
+HB = "hb"
+REWIRE = "rewire"
+STOP = "stop"
+REPORT = "report"
+
+
+def send_frame(conn, kind: str, payload: Any = None) -> None:
+    """Write one frame (single syscall via ``send_bytes``)."""
+    conn.send_bytes(pickle.dumps((kind, payload), protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def recv_frame(conn) -> tuple:
+    """Read one frame; returns ``(kind, payload)``."""
+    return pickle.loads(conn.recv_bytes())

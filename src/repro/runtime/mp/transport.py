@@ -1,0 +1,348 @@
+"""ProcessTransport: the transport surface inside one worker process.
+
+Implements the same ingest / deliver / route_emissions / send_reply /
+rewire surface as the simulated
+:class:`~repro.runtime.transport.Transport`, but over real pipes: local
+destinations are delivered by direct function call (in-process order *is*
+per-channel FIFO), remote destinations go through the wall-clock reliable
+layer into per-destination **outboxes** that :meth:`flush` ships as one
+``DATA`` frame per destination per dispatch quantum — the amortized
+batching that keeps the hot send path at one syscall per quantum instead
+of one per message.
+
+Ingestion entries arrive from the coordinator with a per-source sequence
+number (the coordinator is the durable "client" of the upstream-backup
+story); the transport deduplicates replay overlap after a fail-over and
+reports per-source processed watermarks back in heartbeats so the
+coordinator can trim its ledger.
+
+Every admission to a mailbox passes the per-channel FIFO audit: a
+sequence number at or below the previously admitted one on the same
+channel counts as a violation (the run reports the counter; it must stay
+zero — in-order admission is enforced by the reliable layer's receiver).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.context import PriorityContext
+from repro.dataflow.events import EventBatch
+from repro.dataflow.messages import Message, MessageKind
+from repro.dataflow.operators import Emission, OpAddress
+from repro.runtime.mp.frames import DATA, send_frame
+from repro.runtime.topology import OperatorRuntime
+
+
+class ProcessTransport:
+    """Routes messages for one worker process of the mp backend."""
+
+    def __init__(self, node_id: int, plan, jobs: dict, config, metrics,
+                 profiler, reliable, run_queue, clock):
+        self._node_id = node_id
+        self._ops = plan.ops
+        self._jobs = jobs
+        self._client_converters = plan.client_converters
+        self._contexts = config.contexts_enabled
+        self._capacity = config.source_mailbox_capacity
+        self._metrics = metrics
+        self._profiler = profiler
+        self._reliable = reliable
+        self._run_queue = run_queue
+        self._clock = clock
+        #: node_id -> pending wire entries (flushed as one frame each)
+        self._outboxes: dict[int, list] = {}
+        self._conns: dict = {}
+        #: per-source ingest bookkeeping:
+        #: src_key -> [last_seen_seq, processed_watermark, out_of_order_set]
+        self._ingest_state: dict[tuple, list] = {}
+        #: per-channel FIFO audit: (sender, target) -> last admitted seq
+        self._audit: dict[tuple, int] = {}
+        self.fifo_violations = 0
+
+    def attach_conns(self, conns: dict) -> None:
+        """Bind the peer connections (node_id -> Connection)."""
+        self._conns = conns
+
+    # ------------------------------------------------------------------
+    # ingestion (coordinator -> source operator)
+    # ------------------------------------------------------------------
+
+    def on_ingest(self, entries: list) -> None:
+        """Admit a batch of replayed ingest entries to local sources."""
+        for src_key, seq, trace_time, logical_times, values, keys, sorted_times in entries:
+            state = self._ingest_state.get(src_key)
+            if state is None:
+                state = [-1, seq - 1, set()]
+                self._ingest_state[src_key] = state
+            if seq <= state[0]:
+                # replay overlap after a fail-over: already seen
+                self._metrics.duplicates_dropped += 1
+                continue
+            state[0] = seq
+            self._ingest(src_key, seq, trace_time, logical_times, values,
+                         keys, sorted_times)
+
+    def _ingest(self, src_key: tuple, seq: int, trace_time: float,
+                logical_times, values, keys, sorted_times: bool) -> None:
+        _, job_name, stage_name, source_index = src_key
+        now = self._clock()
+        job = self._jobs[job_name]
+        src_rt = self._ops[OpAddress(job_name, stage_name, source_index)]
+        count = len(logical_times)
+        if job.time_domain == "ingestion":
+            # determinism choice (see docs): the *logical* clock of an
+            # ingestion-time job is the replayed trace time, so window
+            # contents are bit-identical to the sim backend; the *physical*
+            # anchor (t / arrival) is the wall clock, so latencies are real
+            logical_times = np.full(count, trace_time)
+            sorted_times = True
+        batch = EventBatch(
+            logical_times, values, keys, arrival_time=now,
+            source_id=source_index, times_sorted=sorted_times,
+        )
+        progress = batch.max_logical_time
+        pc = None
+        converter = self._client_converters.get(src_key) if self._contexts else None
+        if converter is not None:
+            pc = converter.build(
+                p=progress, t=now, now=now, target_stage=stage_name,
+                target_window=src_rt.stage.window, tuple_count=count,
+                at_source=True,
+            )
+        msg = Message(
+            target=src_rt.address, batch=batch, p=progress, t=now,
+            deps_arrival=now, sender=src_key, pc=pc,
+            channel_index=src_rt.channel_index_of(src_key),
+        )
+        msg.seq = seq
+        src_rt.job_metrics.tuples_ingested += count
+        self.deliver(src_rt, msg)
+
+    def note_source_processed(self, op_rt: OperatorRuntime, msg: Message) -> None:
+        """Advance the per-source ingest watermark (contiguous processed)."""
+        state = self._ingest_state.get(msg.sender)
+        if state is None:
+            return
+        seq = msg.seq
+        if seq == state[1] + 1:
+            state[1] = seq
+            out_of_order = state[2]
+            while state[1] + 1 in out_of_order:
+                state[1] += 1
+                out_of_order.remove(state[1])
+        else:
+            state[2].add(seq)
+
+    def ingest_acks(self) -> dict:
+        """src_key -> contiguous processed ingest watermark (heartbeats)."""
+        return {key: state[1] for key, state in self._ingest_state.items()}
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+
+    def deliver(self, op_rt: OperatorRuntime, msg: Message) -> None:
+        now = self._clock()
+        if msg.seq != -1:
+            channel = (msg.sender, msg.target)
+            last = self._audit.get(channel, -1)
+            if msg.seq <= last:
+                self.fifo_violations += 1
+            self._audit[channel] = msg.seq
+        if op_rt.is_source:
+            capacity = self._capacity
+            if capacity is not None and (
+                op_rt.blocked or len(op_rt.mailbox) >= capacity
+            ):
+                op_rt.blocked.append(msg)
+                op_rt.job_metrics.backpressure_events += 1
+                return
+            msg.enqueue_time = now
+            op_rt.mailbox.push(msg)
+            job_metrics = op_rt.job_metrics
+            size = len(op_rt.mailbox)
+            if size > job_metrics.max_source_mailbox:
+                job_metrics.max_source_mailbox = size
+        else:
+            msg.enqueue_time = now
+            op_rt.mailbox.push(msg)
+        self._run_queue.notify(op_rt, now, None)
+
+    def on_entries(self, entries: list) -> None:
+        """Handle one incoming ``DATA`` frame's entries."""
+        reliable = self._reliable
+        for entry in entries:
+            tag = entry[0]
+            if tag == "msg":
+                for msg in reliable.on_data(entry[1]):
+                    self.deliver(self._ops[msg.target], msg)
+            elif tag == "ack":
+                reliable.on_ack(entry[1], entry[2], entry[3])
+            elif tag == "reply":
+                _, sender, replier_stage, rc = entry
+                converter = self._ops[sender].converter
+                if converter is not None:
+                    converter.process_reply(replier_stage, rc)
+            elif tag == "reset":
+                _, key, base_seq = entry
+                reliable.install_reset(key, base_seq)
+                self._audit.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # emission routing
+    # ------------------------------------------------------------------
+
+    def route_emissions(self, src_rt: OperatorRuntime, trigger: Message,
+                        emissions: list[Emission]) -> None:
+        for route in src_rt.routes:
+            links = route.links
+            if route.key_partitioned and len(links) > 1:
+                parallelism = len(links)
+                for emission in emissions:
+                    partition = emission.batch.keys % parallelism
+                    for j, link in enumerate(links):
+                        sub = emission.batch.select(partition == j)
+                        self._send(src_rt, link, sub, emission, trigger)
+            else:
+                for emission in emissions:
+                    for link in links:
+                        self._send(src_rt, link, emission.batch, emission, trigger)
+
+    def _send(self, src_rt: OperatorRuntime, link: tuple, batch: EventBatch,
+              emission: Emission, trigger: Message) -> None:
+        dst_rt = link[0]
+        if len(batch) == 0 and not dst_rt.stage.is_windowed:
+            # only windowed operators consume progress heartbeats
+            return
+        now = self._clock()
+        pc: Optional[PriorityContext] = None
+        converter = src_rt.converter
+        if self._contexts and converter is not None:
+            pc = converter.build(
+                p=emission.progress, t=emission.arrival, now=now,
+                target_stage=dst_rt.stage_name,
+                target_window=dst_rt.stage.window,
+                tuple_count=len(batch), inherited=trigger.pc, at_source=False,
+            )
+        out = Message(
+            target=dst_rt.address, batch=batch, p=emission.progress,
+            t=emission.arrival, deps_arrival=emission.arrival,
+            sender=src_rt.address, pc=pc, channel_index=link[2],
+        )
+        if dst_rt.node_id == self._node_id:
+            # in-process call order preserves per-channel FIFO directly
+            self.deliver(dst_rt, out)
+            return
+        self._reliable.send(out)
+        self._outbox(dst_rt.node_id).append(("msg", out))
+
+    # ------------------------------------------------------------------
+    # reply contexts
+    # ------------------------------------------------------------------
+
+    def send_reply(self, op_rt: OperatorRuntime, msg: Message) -> None:
+        """PREPAREREPLY at ``op_rt`` → PROCESSCTXFROMREPLY at the sender."""
+        if msg.kind is not MessageKind.DATA or msg.sender is None:
+            return
+        if op_rt.converter is None:
+            return
+        rc = op_rt.converter.prepare_reply(self._profiler.estimate(op_rt.address))
+        rc.mailbox_size = len(op_rt.mailbox)
+        enqueue_time = msg.enqueue_time
+        if enqueue_time == enqueue_time:  # not NaN
+            rc.queueing_delay = max(0.0, self._clock() - enqueue_time)
+        self._metrics.total_acks += 1
+        sender = msg.sender
+        if isinstance(sender, tuple) and sender and sender[0] == "client":
+            # the client converter that built this source's PCs lives in
+            # this very process (it moves with the source on fail-over)
+            converter = self._client_converters.get(sender)
+            if converter is not None:
+                converter.process_reply(op_rt.stage_name, rc)
+            return
+        sender_rt = self._ops[sender]
+        if sender_rt.node_id == self._node_id:
+            if sender_rt.converter is not None:
+                sender_rt.converter.process_reply(op_rt.stage_name, rc)
+            return
+        self._outbox(sender_rt.node_id).append(("reply", sender, op_rt.stage_name, rc))
+
+    # ------------------------------------------------------------------
+    # outboxes
+    # ------------------------------------------------------------------
+
+    def _outbox(self, node_id: int) -> list:
+        outbox = self._outboxes.get(node_id)
+        if outbox is None:
+            outbox = []
+            self._outboxes[node_id] = outbox
+        return outbox
+
+    def enqueue_retransmits(self, replays: list[Message]) -> None:
+        for msg in replays:
+            self._outbox(self._ops[msg.target].node_id).append(("msg", msg))
+
+    def flush(self) -> None:
+        """Ship every pending entry: one ``DATA`` frame per destination.
+
+        Cumulative acks are coalesced per channel and piggybacked on the
+        same frame as data heading to the channel's sender."""
+        for key, admitted, processed in self._reliable.drain_acks():
+            sender = key[0]
+            if isinstance(sender, tuple) and sender and sender[0] == "client":
+                continue  # client acks travel in heartbeats
+            self._outbox(self._ops[sender].node_id).append(
+                ("ack", key, admitted, processed)
+            )
+        for node_id, entries in self._outboxes.items():
+            if not entries:
+                continue
+            conn = self._conns.get(node_id)
+            if conn is not None:
+                send_frame(conn, DATA, entries)
+            self._outboxes[node_id] = []
+
+    def pending_output(self) -> bool:
+        return any(self._outboxes.values())
+
+    # ------------------------------------------------------------------
+    # reconfiguration (fail-over)
+    # ------------------------------------------------------------------
+
+    def rewire(self, mapping: dict) -> None:
+        """Apply a coordinator-announced re-placement after a failure.
+
+        Updates the local placement view, re-incarnates sender channels
+        into moved operators (reset + replay from the processed
+        watermark), and forgets receiver state of channels whose sender
+        was reborn elsewhere (the new incarnation restarts its sequence
+        space)."""
+        moved = set(mapping)
+        for address, node_id in mapping.items():
+            self._ops[address].node_id = node_id
+        reliable = self._reliable
+        for key in reliable.sender_channels_to(moved):
+            reset = reliable.reset_sender(key)
+            if reset is None:
+                continue
+            base_seq, replays = reset
+            self._audit.pop(key, None)
+            new_node = self._ops[key[1]].node_id
+            if new_node == self._node_id:
+                # the receiver was reborn on *this* node: the channel
+                # collapsed to a local edge, which needs no acks — deliver
+                # the unprocessed suffix directly and drop the channel
+                for msg in replays:
+                    self.deliver(self._ops[msg.target], msg)
+                reliable.forget_sender(key)
+                continue
+            outbox = self._outbox(new_node)
+            outbox.append(("reset", key, base_seq))
+            for msg in replays:
+                outbox.append(("msg", msg))
+        reliable.drop_receivers_from(moved)
+        for key in [k for k in self._audit if k[0] in moved or k[1] in moved]:
+            del self._audit[key]

@@ -1,0 +1,320 @@
+"""Worker process of the mp backend: one node, executed for real.
+
+Each worker rebuilds the *entire* topology locally (placement is a pure
+function of the config, so every process derives the same wiring) but
+executes only the operators placed on its node.  The dispatch loop is the
+wall-clock analogue of :class:`~repro.runtime.node.NodeRuntime`: pop an
+operator from the run queue in the scheduler's order, run its messages
+for a quantum, requeue, and between quanta drain the pipes, retransmit
+expired channels, flush the outboxes (one ``DATA`` frame per destination
+— the amortized batch) and heartbeat the coordinator.
+
+Execution cost realization: the sampled cost-model duration occupies the
+worker in *wall-clock* time (``mp_cost_mode="sleep"``), so the cluster's
+aggregate capacity scales with the worker count even when the host has
+fewer cores — sleeps overlap across processes where CPU spin cannot.
+``"none"`` skips realization to measure pure runtime overhead.
+
+Determinism: every worker derives its RNG substreams from the run seed by
+name (``mp/exec-cost/<node>``, ``mp/loss/<node>``) through the same
+order-independent registry the sim backend uses, so cost samples and loss
+decisions are reproducible per node regardless of message interleaving.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from multiprocessing.connection import wait as conn_wait
+
+from repro.core.policies import make_policy
+from repro.core.profiler import CostProfiler, GaussianNoiseInjector
+from repro.metrics.collectors import MetricsHub
+from repro.runtime.mp.frames import (
+    DATA,
+    HB,
+    INGEST,
+    READY,
+    REPORT,
+    REWIRE,
+    START,
+    STOP,
+    recv_frame,
+    send_frame,
+)
+from repro.runtime.mp.reliable import MpReliableDelivery
+from repro.runtime.mp.transport import ProcessTransport
+from repro.runtime.node import make_run_queue
+from repro.runtime.topology import TopologyBuilder
+from repro.sim.network import ChannelTable, ConstantDelay
+from repro.sim.rng import RngRegistry
+
+
+class _BuilderNode:
+    """Placement slot handed to the topology builder (mailbox factory)."""
+
+    __slots__ = ("node_id", "run_queue")
+
+    def __init__(self, node_id: int, run_queue):
+        self.node_id = node_id
+        self.run_queue = run_queue
+
+
+class MpWorker:
+    """One node of the cluster, running in its own process."""
+
+    def __init__(self, node_id: int, config, jobs: list, policy=None,
+                 coord_conn=None, peer_conns=None):
+        self._node_id = node_id
+        self._config = config
+        self._coord = coord_conn
+        self._peers = dict(peer_conns or {})
+        self._epoch = 0.0
+        self._stop = False
+        self._busy_time = 0.0
+        self._messages = 0
+
+        jobs_by_name = {j.name: j for j in jobs}
+        self._jobs = jobs_by_name
+        rng = RngRegistry(config.seed)
+        self._cost_rng = rng.stream(f"mp/exec-cost/{node_id}")
+        noise = None
+        if config.profile_noise_sigma > 0:
+            noise = GaussianNoiseInjector(
+                config.profile_noise_sigma,
+                rng.stream(f"mp/profile-noise/{node_id}"),
+            )
+        self._profiler = CostProfiler(alpha=config.profiler_alpha, noise=noise)
+        self._policy = policy or make_policy(config.policy, **config.policy_kwargs)
+
+        # each worker process runs its node serially: one dispatch slot
+        queue_config = replace(config, workers_per_node=1)
+        builder_nodes = [
+            _BuilderNode(i, make_run_queue(queue_config, self._now))
+            for i in range(config.nodes)
+        ]
+        self._run_queue = builder_nodes[node_id].run_queue
+        builder = TopologyBuilder(
+            config, jobs_by_name, self._policy, self._profiler,
+            ChannelTable(), ConstantDelay(local=0.0, remote=0.0), True,
+        )
+        self._plan = builder.build(builder_nodes)
+        self._ops = self._plan.ops
+
+        self.metrics = MetricsHub()
+        for job in jobs:
+            self.metrics.register_job(job.name, job.group, job.latency_constraint)
+        for op_rt in self._ops.values():
+            op_rt.job_metrics = self.metrics.job(op_rt.job.name)
+
+        loss_rng = rng.stream(f"mp/loss/{node_id}") if config.mp_loss_rate > 0 else None
+        self._reliable = MpReliableDelivery(
+            self._now, config.retransmit_timeout, config.retransmit_backoff_cap,
+            self.metrics, loss_rate=config.mp_loss_rate, loss_rng=loss_rng,
+        )
+        self.transport = ProcessTransport(
+            node_id, self._plan, jobs_by_name, config, self.metrics,
+            self._profiler, self._reliable, self._run_queue, self._now,
+        )
+        self.transport.attach_conns(self._peers)
+        self._sleep_cost = config.mp_cost_mode == "sleep"
+        self._contexts = config.contexts_enabled
+        self._quantum = config.quantum
+        self._capacity = config.source_mailbox_capacity
+        self._record_completions = config.record_completion_timeline
+
+    def _now(self) -> float:
+        return time.monotonic() - self._epoch
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        send_frame(self._coord, READY, self._node_id)
+        kind, payload = recv_frame(self._coord)
+        assert kind == START, f"expected START, got {kind}"
+        self._epoch = payload
+        interval = self._config.heartbeat_interval
+        last_hb = self._now()
+        conns = [self._coord] + list(self._peers.values())
+        while True:
+            self._drain(conns)
+            now = self._now()
+            replays = self._reliable.due_retransmits(now)
+            if replays:
+                self.transport.enqueue_retransmits(replays)
+            worked = self._dispatch_quantum()
+            self._safe_flush()
+            now = self._now()
+            if self._stop:
+                break
+            if now - last_hb >= interval:
+                self._heartbeat(now)
+                last_hb = now
+            if not worked:
+                timeout = last_hb + interval - now
+                deadline = self._reliable.next_deadline()
+                if deadline is not None:
+                    timeout = min(timeout, deadline - now)
+                if timeout > 0:
+                    conn_wait(conns, timeout=min(timeout, 0.02))
+        self._report()
+
+    def _drain(self, conns, limit: int = 256) -> None:
+        """Handle up to ``limit`` frames across all connections."""
+        handled = 0
+        progress = True
+        while progress and handled < limit:
+            progress = False
+            for conn in conns:
+                try:
+                    if not conn.poll():
+                        continue
+                    kind, payload = recv_frame(conn)
+                except (EOFError, OSError):
+                    continue
+                progress = True
+                handled += 1
+                if kind == DATA:
+                    self.transport.on_entries(payload)
+                elif kind == INGEST:
+                    self.transport.on_ingest(payload)
+                elif kind == REWIRE:
+                    self.transport.rewire(payload[0])
+                elif kind == STOP:
+                    self._stop = True
+
+    def _safe_flush(self) -> None:
+        try:
+            self.transport.flush()
+        except (BrokenPipeError, OSError):
+            # a peer died mid-send; its channels replay after fail-over
+            pass
+
+    def _idle(self) -> bool:
+        return (
+            self._run_queue.pending_operator_count() == 0
+            and self._reliable.idle()
+            and not self.transport.pending_output()
+        )
+
+    def _heartbeat(self, now: float) -> None:
+        try:
+            send_frame(self._coord, HB, (
+                self._node_id, self._idle(),
+                self.transport.ingest_acks(), self._messages,
+            ))
+        except (BrokenPipeError, OSError):
+            self._stop = True  # the coordinator is gone: report and exit
+
+    def _report(self) -> None:
+        self.metrics.record_worker_busy(self._node_id, 0, self._busy_time)
+        stats = {
+            "busy_time": self._busy_time,
+            "messages": self._messages,
+            "fifo_violations": (
+                self.transport.fifo_violations + self._reliable.fifo_violations
+            ),
+            "channel_count": self._reliable.channel_count,
+        }
+        try:
+            send_frame(self._coord, REPORT, (self._node_id, self.metrics, stats))
+        except (BrokenPipeError, OSError):
+            pass
+
+    # ------------------------------------------------------------------
+    # dispatch (wall-clock analogue of NodeRuntime._run_op)
+    # ------------------------------------------------------------------
+
+    def _dispatch_quantum(self) -> bool:
+        """Pop one operator and run its messages for a quantum.
+
+        Returns True when any message was executed."""
+        op_rt = self._run_queue.pop(0)
+        if op_rt is None:
+            return False
+        op_rt.busy = True
+        start = self._now()
+        mailbox = op_rt.mailbox
+        worked = False
+        while True:
+            msg = mailbox.pop()
+            if op_rt.blocked:
+                capacity = self._capacity
+                if capacity is not None and len(mailbox) < capacity:
+                    released = op_rt.blocked.popleft()
+                    released.enqueue_time = self._now()
+                    mailbox.push(released)
+            self._execute(op_rt, msg)
+            worked = True
+            if len(mailbox) == 0:
+                op_rt.busy = False
+                return worked
+            now = self._now()
+            if now - start >= self._quantum:
+                if self._run_queue.should_swap(op_rt):
+                    op_rt.busy = False
+                    self._run_queue.requeue(op_rt, 0)
+                    return worked
+                start = now  # fresh quantum, same operator (sim parity)
+
+    def _execute(self, op_rt, msg) -> None:
+        now = self._now()
+        job_metrics = op_rt.job_metrics
+        stage_name = op_rt.stage_name
+        enqueue_time = msg.enqueue_time
+        wait = now - enqueue_time
+        if wait == wait:  # NaN propagates from unset enqueue
+            queue_stat = op_rt.queue_stat
+            if queue_stat is None:
+                queue_stat = job_metrics.queueing_stat(stage_name)
+                op_rt.queue_stat = queue_stat
+            queue_stat.add(wait)
+        pc = msg.pc
+        if pc is not None and now > pc.deadline:
+            job_metrics.start_violations += 1
+        cost = op_rt.cost_model.sample(msg.tuple_count, self._cost_rng)
+        exec_stat = op_rt.exec_stat
+        if exec_stat is None:
+            exec_stat = job_metrics.execution_stat(stage_name)
+            op_rt.exec_stat = exec_stat
+        exec_stat.add(cost)
+        if self._sleep_cost and cost > 0:
+            time.sleep(cost)
+        self._busy_time += cost
+        now = self._now()
+        self._messages += 1
+        job_metrics.messages_processed += 1
+        self.metrics.total_messages += 1
+        emissions = op_rt.operator.on_message(msg, now)
+        batch = msg.batch
+        if op_rt.is_sink and batch is not None and len(batch) > 0:
+            job_metrics.record_output(
+                now, now - msg.t, msg.tuple_count, float(batch.values.sum())
+            )
+        elif op_rt.is_source:
+            count = msg.tuple_count
+            job_metrics.tuples_processed += count
+            job_metrics.source_events.append((now, count))
+        if self._contexts:
+            self._profiler.record(op_rt.address, cost)
+            self.transport.send_reply(op_rt, msg)
+        if self._record_completions:
+            self.metrics.completion_log.append(
+                (now, op_rt.job.name, stage_name, op_rt.address.index, msg.msg_id)
+            )
+        if op_rt.is_source:
+            self.transport.note_source_processed(op_rt, msg)
+        elif msg.seq != -1:
+            self._reliable.on_processed(msg)
+        if emissions:
+            self.transport.route_emissions(op_rt, msg, emissions)
+
+
+def worker_main(node_id: int, config, jobs: list, policy,
+                coord_conn, peer_conns: dict) -> None:
+    """Process entry point (fork start method: objects are inherited)."""
+    worker = MpWorker(node_id, config, jobs, policy=policy,
+                      coord_conn=coord_conn, peer_conns=peer_conns)
+    worker.run()

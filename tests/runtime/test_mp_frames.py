@@ -1,0 +1,255 @@
+"""Unit tests for the mp backend's wire layer.
+
+Frames round-trip over a *real* multiprocessing pipe (the exact transport
+the workers use), and the wall-clock reliable-delivery state machine is
+driven directly with a fake clock: sequence assignment, cumulative acks,
+go-back-N on timeout with capped backoff, out-of-order buffering,
+duplicate suppression, and channel reset after fail-over.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.core.context import PriorityContext
+from repro.dataflow.events import EventBatch
+from repro.dataflow.messages import Message
+from repro.dataflow.operators import OpAddress
+from repro.metrics.collectors import MetricsHub
+from repro.runtime.mp.frames import (
+    DATA,
+    INGEST,
+    START,
+    recv_frame,
+    send_frame,
+)
+from repro.runtime.mp.reliable import MpReliableDelivery
+
+
+def _message(sender="a", target="b", seq=-1, tuples=4) -> Message:
+    batch = EventBatch(
+        np.arange(tuples, dtype=np.float64),
+        np.ones(tuples),
+        np.arange(tuples),
+        arrival_time=0.5,
+        source_id=0,
+        times_sorted=True,
+    )
+    msg = Message(
+        target=target, batch=batch, p=3.0, t=0.5, deps_arrival=0.5,
+        sender=sender, pc=PriorityContext(pri_local=1.0, pri_global=2.0),
+        channel_index=0,
+    )
+    msg.seq = seq
+    return msg
+
+
+class TestFrames:
+    def test_round_trip_over_real_pipe(self):
+        parent, child = multiprocessing.Pipe(duplex=True)
+        try:
+            send_frame(parent, START, 123.25)
+            kind, payload = recv_frame(child)
+            assert kind == START and payload == 123.25
+
+            msg = _message(
+                sender=OpAddress("j", "src", 0), target=OpAddress("j", "agg", 1),
+                seq=7,
+            )
+            entries = [
+                ("msg", msg),
+                ("ack", (OpAddress("j", "src", 0), OpAddress("j", "agg", 1)), 4, 2),
+                ("reset", ("x", "y"), 9),
+            ]
+            send_frame(child, DATA, entries)
+            kind, received = recv_frame(parent)
+            assert kind == DATA
+            got = received[0][1]
+            assert got.seq == 7
+            assert got.target == OpAddress("j", "agg", 1)
+            assert got.pc.pri_local == 1.0
+            np.testing.assert_array_equal(
+                got.batch.logical_times, msg.batch.logical_times
+            )
+            assert received[1] == entries[1]
+            assert received[2] == entries[2]
+        finally:
+            parent.close()
+            child.close()
+
+    def test_ingest_frame_carries_arrays(self):
+        parent, child = multiprocessing.Pipe(duplex=True)
+        try:
+            entry = (
+                ("client", "j", "src", 0), 3, 1.5,
+                np.array([1.0, 2.0]), None, np.array([4, 5]), True,
+            )
+            send_frame(parent, INGEST, [entry])
+            kind, payload = recv_frame(child)
+            assert kind == INGEST
+            src_key, seq, trace_time, times, values, keys, sorted_times = payload[0]
+            assert src_key == ("client", "j", "src", 0)
+            assert (seq, trace_time, values, sorted_times) == (3, 1.5, None, True)
+            np.testing.assert_array_equal(times, [1.0, 2.0])
+            np.testing.assert_array_equal(keys, [4, 5])
+        finally:
+            parent.close()
+            child.close()
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture()
+def channel():
+    clock = _FakeClock()
+    metrics = MetricsHub()
+    reliable = MpReliableDelivery(clock, rto=0.1, rto_cap=0.8, metrics=metrics)
+    return clock, metrics, reliable
+
+
+class TestReliableSender:
+    def test_sequences_are_per_channel(self, channel):
+        _, _, reliable = channel
+        assert reliable.send(_message("a", "b")).seq == 0
+        assert reliable.send(_message("a", "b")).seq == 1
+        assert reliable.send(_message("a", "c")).seq == 0
+
+    def test_cumulative_ack_releases_prefix(self, channel):
+        _, _, reliable = channel
+        for _ in range(4):
+            reliable.send(_message("a", "b"))
+        reliable.on_ack(("a", "b"), admitted=3, processed=1)
+        state = reliable._senders[("a", "b")]
+        assert sorted(state.unacked) == [2, 3]
+        assert state.processed_w == 1 and state.admitted_w == 3
+        # everything admitted: no retransmit armed
+        assert reliable.next_deadline() is None
+
+    def test_go_back_n_on_timeout_with_backoff(self, channel):
+        clock, metrics, reliable = channel
+        for _ in range(3):
+            reliable.send(_message("a", "b"))
+        assert reliable.due_retransmits(0.05) == []  # not due yet
+        replays = reliable.due_retransmits(0.11)
+        assert [m.seq for m in replays] == [0, 1, 2]
+        assert metrics.retransmissions == 3
+        # RTO doubled: next replay due at 0.11 + 0.2
+        assert reliable.due_retransmits(0.25) == []
+        assert [m.seq for m in reliable.due_retransmits(0.32)] == [0, 1, 2]
+        # backoff is capped
+        state = reliable._senders[("a", "b")]
+        for now in (1.0, 2.0, 3.0, 4.0):
+            reliable.due_retransmits(now)
+        assert state.rto == 0.8
+
+    def test_partial_ack_replays_only_unadmitted_suffix(self, channel):
+        _, _, reliable = channel
+        for _ in range(4):
+            reliable.send(_message("a", "b"))
+        reliable.on_ack(("a", "b"), admitted=1, processed=1)
+        replays = reliable.due_retransmits(0.5)
+        assert [m.seq for m in replays] == [2, 3]
+
+    def test_progress_resets_backoff(self, channel):
+        _, _, reliable = channel
+        for _ in range(2):
+            reliable.send(_message("a", "b"))
+        reliable.due_retransmits(0.2)   # rto -> 0.2
+        reliable.due_retransmits(0.5)   # rto -> 0.4
+        reliable.on_ack(("a", "b"), admitted=0, processed=0)
+        assert reliable._senders[("a", "b")].rto == 0.1
+
+    def test_reset_sender_returns_unprocessed_suffix(self, channel):
+        _, _, reliable = channel
+        for _ in range(5):
+            reliable.send(_message("a", "b"))
+        reliable.on_ack(("a", "b"), admitted=4, processed=2)
+        base_seq, replays = reliable.reset_sender(("a", "b"))
+        assert base_seq == 3
+        assert [m.seq for m in replays] == [3, 4]
+        assert reliable.sender_channels_to({"b"}) == [("a", "b")]
+        reliable.forget_sender(("a", "b"))
+        assert reliable.sender_channels_to({"b"}) == []
+
+
+class TestReliableReceiver:
+    def test_in_order_admission_and_acks(self, channel):
+        _, _, reliable = channel
+        assert [m.seq for m in reliable.on_data(_message("a", "b", seq=0))] == [0]
+        assert [m.seq for m in reliable.on_data(_message("a", "b", seq=1))] == [1]
+        reliable.on_processed(_message("a", "b", seq=0))
+        acks = reliable.drain_acks()
+        assert acks == [(("a", "b"), 1, 0)]
+        assert reliable.drain_acks() == []  # coalesced: nothing new
+
+    def test_out_of_order_buffered_until_gap_fills(self, channel):
+        _, _, reliable = channel
+        assert reliable.on_data(_message("a", "b", seq=2)) == []
+        assert reliable.on_data(_message("a", "b", seq=1)) == []
+        admitted = reliable.on_data(_message("a", "b", seq=0))
+        assert [m.seq for m in admitted] == [0, 1, 2]
+
+    def test_duplicates_dropped_and_reacked(self, channel):
+        _, metrics, reliable = channel
+        reliable.on_data(_message("a", "b", seq=0))
+        reliable.on_processed(_message("a", "b", seq=0))
+        reliable.drain_acks()
+        assert reliable.on_data(_message("a", "b", seq=0)) == []
+        assert metrics.duplicates_dropped == 1
+        # the duplicate re-dirties the channel so the ack is refreshed
+        assert reliable.drain_acks() == [(("a", "b"), 0, 0)]
+
+    def test_out_of_order_processing_watermark(self, channel):
+        _, _, reliable = channel
+        for seq in range(3):
+            reliable.on_data(_message("a", "b", seq=seq))
+        reliable.on_processed(_message("a", "b", seq=2))
+        reliable.on_processed(_message("a", "b", seq=0))
+        reliable.on_processed(_message("a", "b", seq=1))
+        assert reliable.drain_acks() == [(("a", "b"), 2, 2)]
+
+    def test_install_reset_moves_admission_base(self, channel):
+        _, _, reliable = channel
+        reliable.on_data(_message("a", "b", seq=0))
+        reliable.install_reset(("a", "b"), base_seq=5)
+        assert reliable.on_data(_message("a", "b", seq=4)) == []  # below base
+        assert [m.seq for m in reliable.on_data(_message("a", "b", seq=5))] == [5]
+
+    def test_drop_receivers_from_forgets_sender_side_state(self, channel):
+        _, _, reliable = channel
+        reliable.on_data(_message("a", "b", seq=0))
+        reliable.drop_receivers_from({"a"})
+        # the reborn sender restarts its sequence space from zero
+        assert [m.seq for m in reliable.on_data(_message("a", "b", seq=0))] == [0]
+
+    def test_loss_injection_counts_and_triggers_gap(self):
+        clock = _FakeClock()
+        metrics = MetricsHub()
+
+        class _AlwaysLose:
+            def random(self):
+                return 0.0
+
+        reliable = MpReliableDelivery(
+            clock, rto=0.1, rto_cap=0.8, metrics=metrics,
+            loss_rate=0.5, loss_rng=_AlwaysLose(),
+        )
+        assert reliable.on_data(_message("a", "b", seq=0)) == []
+        assert metrics.messages_lost_network == 1
+
+    def test_idle_accounting(self, channel):
+        _, _, reliable = channel
+        assert reliable.idle()
+        reliable.send(_message("a", "b"))
+        assert not reliable.idle()
+        reliable.on_ack(("a", "b"), admitted=0, processed=0)
+        assert reliable.idle()
