@@ -94,15 +94,32 @@ def bench_fig07_single_tenant(duration: float = 20.0, seed: int = 2) -> dict:
 
 
 def bench_mp_scaling(
-    duration: float = 6.0, seed: int = 4, worker_counts=(1, 2, 4)
+    duration: float = 6.0, seed: int = 4, worker_counts=(1, 2, 4),
+    cost_mode: str = "sleep", tuples_per_msg: int = 1000,
+    heartbeat_interval: Optional[float] = None, repeats: int = 1,
 ) -> dict:
     """Process-backend wall-clock scaling: the same captured trace executed
-    for real at 1/2/4 worker processes (``backend="mp"``, flooded replay).
+    for real at 1/2/4 worker processes (``backend="mp"``, flooded replay,
+    in-worker ingestion).
 
     The trace and the per-message cost samples' totals are fixed by the
     workload, so wall-clock seconds measure how well the runtime spreads
     the execution across processes; ``speedup_vs_1`` at the highest worker
-    count is the tentpole's headline number (target: >= 2x at 4 workers).
+    count is the headline number.  ``cost_mode="sleep"`` overlaps idle
+    time (capacity scales even on few cores); ``"spin"`` burns calibrated
+    CPU work per sampled cost — the concurrent calibration barrier prices
+    host contention into each worker's rate, so the series is honestly
+    CPU-bound on a core-per-worker host and measures pure scheduling
+    scalability on an oversubscribed one (target: >= 3.2x at 4 workers,
+    zero FIFO violations).
+
+    Two timings per point: ``seconds`` is the whole engine run (capture,
+    fork, calibration, execution, merge — the end-to-end cost a user
+    pays), ``run_seconds`` is the coordinator's execution wall from the
+    shared epoch to quiescence.  ``speedup_vs_1`` is computed on
+    ``run_seconds``: capture and fork are per-run setup and the spin
+    calibration barrier is a fixed startup toll, none of which the
+    worker count is supposed to amortize.
 
     Placement is ``pack_by_job`` (the slot-reserved deployment): every
     job's address block is a multiple of 4 operators long, so round-robin
@@ -114,42 +131,167 @@ def bench_mp_scaling(
     from repro.experiments.common import TenantMix, run_tenant_mix
 
     result: dict = {
-        "kind": "workload", "unit": "s", "backend": "mp", "workers": {},
+        "kind": "workload", "unit": "s", "backend": "mp",
+        "cost_mode": cost_mode, "ingest_mode": "worker", "workers": {},
     }
     total = 0.0
     messages = 0
     base: Optional[float] = None
     for workers in worker_counts:
-        mix = TenantMix(ls_count=2, ba_count=4, ba_msg_rate=10.0)
-        start = time.perf_counter()
-        engine = run_tenant_mix(
-            "cameo", mix, duration=duration, drain=0.0, seed=seed,
-            nodes=workers, workers_per_node=1,
-            config_overrides={
-                "backend": "mp",
-                "mp_realtime": False,
-                "placement": "pack_by_job",
-            },
+        mix = TenantMix(
+            ls_count=2, ba_count=4, ba_msg_rate=10.0,
+            tuples_per_msg=tuples_per_msg,
         )
-        elapsed = time.perf_counter() - start
+        overrides = {
+            "backend": "mp",
+            "mp_realtime": False,
+            "mp_cost_mode": cost_mode,
+            "placement": "pack_by_job",
+        }
+        if heartbeat_interval is not None:
+            overrides["heartbeat_interval"] = heartbeat_interval
+        # ``repeats`` > 1 re-runs the identical point and keeps the
+        # median execution wall: on a shared host, transient steal can
+        # skew any single run by >10%, and the scaling ratio inherits
+        # that noise from whichever point it hits.  The trace is
+        # seed-deterministic, so reps differ only in host conditions.
+        reps = []
+        elapsed_total = 0.0
+        fifo = 0
+        engine = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            engine = run_tenant_mix(
+                "cameo", mix, duration=duration, drain=0.0, seed=seed,
+                nodes=workers, workers_per_node=1,
+                config_overrides=overrides,
+            )
+            elapsed = time.perf_counter() - start
+            elapsed_total += elapsed
+            fifo = max(fifo, engine.info["fifo_violations"])
+            reps.append((engine.info["wall_time"], elapsed))
+        reps.sort()
+        run_seconds, elapsed = reps[len(reps) // 2]
         count = engine.metrics.total_messages
         entry = {
             "seconds": elapsed,
+            "run_seconds": run_seconds,
             "messages": count,
-            "us_per_message": elapsed / count * 1e6 if count else float("nan"),
-            "fifo_violations": engine.info["fifo_violations"],
+            "us_per_message": (
+                run_seconds / count * 1e6 if count else float("nan")
+            ),
+            "fifo_violations": fifo,
         }
+        if len(reps) > 1:
+            entry["run_seconds_all"] = [round(r, 4) for r, _ in reps]
         if base is None:
-            base = elapsed
-        entry["speedup_vs_1"] = base / elapsed if elapsed else float("inf")
+            base = run_seconds
+        entry["speedup_vs_1"] = base / run_seconds if run_seconds else float("inf")
         result["workers"][str(workers)] = entry
-        total += elapsed
+        total += elapsed_total
         messages += count
     result["seconds"] = total
     result["messages"] = messages
     result["max_workers"] = max(worker_counts)
     result["speedup_at_max"] = result["workers"][str(max(worker_counts))]["speedup_vs_1"]
     return result
+
+
+def _frame_entries():
+    """A representative mp DATA flush batch: the hot cross-pipe shape.
+
+    Remote traffic in the tenant workloads is dominated by aggregation
+    emissions — small batches (key_count=8 partitions) with a priority
+    context — plus the piggybacked cumulative acks and reply contexts of
+    the quantum.  Frame-encoding gains are measured on that shape, not on
+    giant batches where array bytes dominate either encoding."""
+    import numpy as np
+
+    from repro.core.context import PriorityContext, ReplyContext
+    from repro.dataflow.events import EventBatch
+    from repro.dataflow.messages import Message
+    from repro.dataflow.operators import OpAddress
+
+    entries = []
+    for i in range(16):
+        n = 8
+        batch = EventBatch(
+            np.linspace(float(i), float(i) + 1.0, n),
+            np.arange(n, dtype=np.float64),
+            np.arange(n, dtype=np.int64),
+            arrival_time=float(i), source_id=i % 4, times_sorted=True,
+        )
+        msg = Message(
+            target=OpAddress(f"job{i % 4}", "agg1", 0),
+            batch=batch, p=float(i), t=float(i), deps_arrival=float(i),
+            sender=OpAddress(f"job{i % 4}", "agg0", i % 2),
+            pc=PriorityContext(pri_local=float(i), pri_global=float(i),
+                               deadline=float(i) + 0.5),
+            channel_index=i % 3,
+        )
+        msg.seq = i
+        entries.append(("msg", msg))
+    for i in range(4):
+        key = (OpAddress(f"job{i}", "agg0", 0), OpAddress(f"job{i}", "agg1", 0))
+        entries.append(("ack", key, 40 + i, 38 + i))
+        entries.append((
+            "reply", OpAddress(f"job{i}", "agg0", 0), "agg1",
+            ReplyContext(c_m=1e-4, c_path=3e-4, queueing_delay=1e-3,
+                         mailbox_size=i),
+        ))
+    return entries
+
+
+def bench_frames(frames: int = 2_000, repeats: int = 3) -> dict:
+    """Binary DATA-frame codec vs whole-object pickle (encode + decode).
+
+    Times the steady state: interning definitions are exchanged once per
+    channel up front (as on a live pipe), then every frame is fixed-layout
+    struct packing against pickle's per-object traversal of the same
+    entries.  ``speedup_vs_pickle`` is the acceptance number (>= 3x)."""
+    import pickle
+
+    from repro.runtime.mp.frames import DATA, DataCodec
+
+    entries = _frame_entries()
+
+    def run_binary() -> None:
+        sender = DataCodec()
+        receiver = DataCodec()
+        receiver.decode_data(sender.encode_data(entries))  # definitions
+        for _ in range(frames):
+            receiver.decode_data(sender.encode_data(entries))
+
+    def run_pickle() -> None:
+        for _ in range(frames):
+            pickle.loads(
+                pickle.dumps((DATA, entries), protocol=pickle.HIGHEST_PROTOCOL)
+            )
+
+    binary_seconds = _best_of(run_binary, repeats)
+    pickle_seconds = _best_of(run_pickle, repeats)
+    steady = DataCodec()
+    probe = DataCodec()
+    probe_bytes = steady.encode_data(entries)  # first frame: with defs
+    probe.decode_data(probe_bytes)
+    steady_bytes = steady.encode_data(entries)
+    return {
+        "kind": "micro",
+        "unit": "us/frame",
+        "backend": "mp",
+        "seconds": binary_seconds,
+        "ops": frames,
+        "entries_per_frame": len(entries),
+        "binary_us_per_frame": binary_seconds / frames * 1e6,
+        "pickle_us_per_frame": pickle_seconds / frames * 1e6,
+        "bytes_binary": len(steady_bytes),
+        "bytes_pickle": len(
+            pickle.dumps((DATA, entries), protocol=pickle.HIGHEST_PROTOCOL)
+        ),
+        "speedup_vs_pickle": (
+            pickle_seconds / binary_seconds if binary_seconds else float("inf")
+        ),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -314,11 +456,37 @@ def bench_message_alloc(n: int = 200_000, repeats: int = 3) -> dict:
     }
 
 
+def bench_mp_scaling_spin(
+    duration: float = 6.0, seed: int = 4, worker_counts=(1, 2, 4),
+    repeats: int = 3,
+) -> dict:
+    """The CPU-bound mp scaling series (``mp_cost_mode="spin"``).
+
+    Uses a compute-dominant mix (8000 tuples/message multiplies the
+    sampled per-message cost ~6x) so the series measures how the runtime
+    scales *execution*, not how fast it shuffles near-empty messages —
+    the operating point a CPU-bound scaling claim is about.  A tight
+    heartbeat (20 ms) keeps the distributed-quiescence tail from eating
+    into the short high-worker-count runs, and median-of-``repeats``
+    per point absorbs host-steal transients that would otherwise skew
+    the scaling ratio."""
+    return bench_mp_scaling(
+        duration=duration, seed=seed, worker_counts=worker_counts,
+        cost_mode="spin", tuples_per_msg=8000, heartbeat_interval=0.02,
+        repeats=repeats,
+    )
+
+
 #: bench name -> (factory, kwargs for --quick mode)
 BENCHES: dict = {
     "fig08_multi_tenant": (bench_fig08_multi_tenant, {"duration": 5.0}),
     "fig07_single_tenant": (bench_fig07_single_tenant, {"duration": 5.0}),
     "mp_scaling": (bench_mp_scaling, {"duration": 3.0, "worker_counts": (1, 2)}),
+    "mp_scaling_spin": (
+        bench_mp_scaling_spin,
+        {"duration": 3.0, "worker_counts": (1, 2), "repeats": 1},
+    ),
+    "frames": (bench_frames, {"frames": 300, "repeats": 2}),
     "kernel_events": (bench_kernel_events, {"n": 20_000, "repeats": 2}),
     "scheduler_fanin": (bench_scheduler_fanin, {"n": 10_000, "repeats": 2}),
     "scheduler_churn": (bench_scheduler_churn, {"n": 10_000, "repeats": 2}),
@@ -327,7 +495,9 @@ BENCHES: dict = {
 
 #: which execution backend each bench exercises (default: "sim");
 #: ``--backend`` selects the subset to run
-BENCH_BACKEND: dict = {"mp_scaling": "mp"}
+BENCH_BACKEND: dict = {
+    "mp_scaling": "mp", "mp_scaling_spin": "mp", "frames": "mp",
+}
 
 #: benches the acceptance gate aggregates ("scheduler/kernel microbenches");
 #: message_alloc is reported alongside but measures allocation, not the
@@ -396,6 +566,12 @@ def compare_reports(baseline: dict, current: dict) -> tuple[str, dict]:
         else:
             lines.append(f"{name:<24} {cur:>9.3f}s {base:>9.3f}s {speedup:>8.2f}x")
 
+    def _geomean(values: list[float]) -> float:
+        product = 1.0
+        for value in values:
+            product *= value
+        return product ** (1.0 / len(values))
+
     summary = {}
     workload = speedups.get("fig08_multi_tenant")
     if workload is not None:
@@ -403,12 +579,18 @@ def compare_reports(baseline: dict, current: dict) -> tuple[str, dict]:
         lines.append(f"fig08 multi-tenant workload speedup: {workload:.2f}x")
     micro = [speedups[n] for n in MICRO_BENCHES if n in speedups]
     if micro:
-        geomean = 1.0
-        for s in micro:
-            geomean *= s
-        geomean **= 1.0 / len(micro)
+        geomean = _geomean(micro)
         summary["micro_geomean_speedup"] = geomean
         lines.append(f"scheduler/kernel microbench speedup (geomean): {geomean:.2f}x")
+    if speedups:
+        # the drift detector: a uniform environmental slowdown moves every
+        # ratio (including pure-Python microbenches) together, a code
+        # regression moves specific benches away from the pack
+        overall = _geomean(list(speedups.values()))
+        summary["geomean_speedup"] = overall
+        lines.append(
+            f"overall speedup (geomean of {len(speedups)} benches): {overall:.2f}x"
+        )
     return "\n".join(lines), summary
 
 
@@ -422,8 +604,12 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--label", default="dev", help="label; writes BENCH_<label>.json")
     parser.add_argument("--out", default=".", metavar="DIR", help="output directory")
     parser.add_argument(
-        "--compare", default=None, metavar="JSON",
-        help="prior BENCH_*.json to compare against",
+        "--compare", default=None, metavar="JSON", nargs="+",
+        help=(
+            "one BENCH_*.json: run the benches and compare against it; "
+            "two: compare B against A without running anything "
+            "(per-bench ratios + geomean)"
+        ),
     )
     parser.add_argument(
         "--quick", action="store_true", help="reduced sizes (CI smoke run)"
@@ -442,8 +628,20 @@ def main(argv: Optional[list[str]] = None) -> int:
         unknown = [b for b in args.bench if b not in BENCHES]
         if unknown:
             parser.error(f"unknown bench(es): {', '.join(unknown)}")
-    if args.compare and not pathlib.Path(args.compare).is_file():
-        parser.error(f"--compare file not found: {args.compare}")
+    if args.compare:
+        if len(args.compare) > 2:
+            parser.error("--compare takes at most two BENCH_*.json files")
+        for path in args.compare:
+            if not pathlib.Path(path).is_file():
+                parser.error(f"--compare file not found: {path}")
+
+    if args.compare and len(args.compare) == 2:
+        # pure comparison: B vs A, no benches run, nothing written
+        baseline = json.loads(pathlib.Path(args.compare[0]).read_text())
+        current = json.loads(pathlib.Path(args.compare[1]).read_text())
+        text, _ = compare_reports(baseline, current)
+        print(text)
+        return 0
 
     print(
         f"running benches (label={args.label}, quick={args.quick}, "
@@ -458,7 +656,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     print(f"wrote {out_path}")
 
     if args.compare:
-        baseline = json.loads(pathlib.Path(args.compare).read_text())
+        baseline = json.loads(pathlib.Path(args.compare[0]).read_text())
         text, _ = compare_reports(baseline, report)
         print()
         print(text)

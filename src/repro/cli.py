@@ -5,6 +5,7 @@ Usage::
     python -m repro.cli list
     python -m repro.cli fig09
     python -m repro.cli fig08a --out results/
+    python -m repro.cli fig08a --backend mp --duration 5
     python -m repro.cli all
     python -m repro.cli bench --label pr2 --compare BENCH_seed.json
     python -m repro.cli topology --ls 2 --ba 1 --nodes 2
@@ -304,6 +305,16 @@ def main(argv: list[str] | None = None) -> int:
         help="with --out, additionally write DIR/<figure>.json",
     )
     parser.add_argument("--precision", type=int, default=3)
+    parser.add_argument(
+        "--backend", choices=("sim", "mp"), default=None,
+        help="execution backend for figures that support it (fig08*, "
+             "ext_faults); mp runs the sweep on real worker processes",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="override the figure's driven duration (mp runs pace ingest "
+             "on the wall clock — shorten for a quick look)",
+    )
     args = parser.parse_args(argv)
 
     if args.figure == "list":
@@ -316,9 +327,25 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown figure(s): {', '.join(unknown)}; try 'list'")
 
+    # forward --backend/--duration only to runners that take them, and
+    # reject --backend for figures that don't (silent fallback to sim
+    # would misreport what was measured)
+    import inspect
+
     for name in names:
+        runner = RUNNERS[name]
+        accepted = inspect.signature(runner).parameters
+        kwargs = {}
+        if args.backend is not None:
+            if "backend" not in accepted:
+                parser.error(f"{name} does not support --backend")
+            kwargs["backend"] = args.backend
+        if args.duration is not None:
+            if "duration" not in accepted:
+                parser.error(f"{name} does not support --duration")
+            kwargs["duration"] = args.duration
         started = time.perf_counter()
-        result = RUNNERS[name]()
+        result = runner(**kwargs)
         elapsed = time.perf_counter() - started
         text = result.render(args.precision)
         print(text)

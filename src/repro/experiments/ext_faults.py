@@ -36,13 +36,19 @@ prioritised); plain cameo reaches the same on-time count but wastes
 workers on doomed messages, stretching tail latency and recovery; FIFO
 degrades (head-of-line blocking behind the replayed+backlogged coarse BA
 messages); Orleans collapses.
+
+``backend="mp"`` replays the same schedule against real worker processes:
+crash windows become hard SIGKILLs at the window start (permanent — the
+mp backend has no rejoin), channel loss becomes ``mp_loss_rate`` with
+go-back-N retransmission, and delay spikes are skipped (no mp analogue).
+Success/recovery metrics read identically off the merged hub.
 """
 
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult
 from repro.runtime.config import EngineConfig
-from repro.runtime.engine import StreamEngine
+from repro.runtime.engine import StreamEngine, make_engine
 from repro.sim.faults import ChannelLoss, CrashWindow, DelaySpike, FaultSchedule
 from repro.workloads.arrivals import (
     FixedBatchSize,
@@ -74,16 +80,36 @@ def make_fault_schedule(duration: float = 30.0) -> FaultSchedule:
 
 
 def _build_and_drive(scheduler: str, duration: float, seed: int,
-                     schedule, shed: bool) -> StreamEngine:
+                     schedule, shed: bool, backend: str = "sim") -> StreamEngine:
     ls_jobs = [make_latency_sensitive_job(f"ls{i}", source_count=4)
                for i in range(4)]
     ba_jobs = [make_bulk_analytics_job(f"ba{i}", source_count=4, cost_scale=50.0)
                for i in range(4)]
-    engine = StreamEngine(
-        EngineConfig(scheduler=scheduler, nodes=3, workers_per_node=2,
-                     seed=seed, fault_schedule=schedule, shed_expired=shed),
-        ls_jobs + ba_jobs,
-    )
+    if backend == "mp":
+        # The same schedule realised with *real* faults: crash windows
+        # become hard SIGKILLs of the worker process at the window start
+        # (the mp backend has no rejoin — kills are permanent, strictly
+        # harsher than the sim's bounded outage), channel loss becomes
+        # ``mp_loss_rate`` (the receiver drops cross-pipe frames; go-back-N
+        # retransmits).  Delay spikes have no mp analogue and are skipped.
+        loss = 0.0
+        if schedule is not None and schedule.losses:
+            loss = max(entry.rate for entry in schedule.losses)
+        engine = make_engine(
+            EngineConfig(scheduler=scheduler, nodes=3, workers_per_node=2,
+                         seed=seed, shed_expired=shed, backend="mp",
+                         mp_loss_rate=loss),
+            ls_jobs + ba_jobs,
+        )
+        if schedule is not None:
+            for crash in schedule.crashes:
+                engine.kill_at(crash.node, crash.start)
+    else:
+        engine = StreamEngine(
+            EngineConfig(scheduler=scheduler, nodes=3, workers_per_node=2,
+                         seed=seed, fault_schedule=schedule, shed_expired=shed),
+            ls_jobs + ba_jobs,
+        )
     for job in ls_jobs:
         drive_all_sources(engine, job, lambda s, i: PeriodicArrivals(1.0),
                           sizer=FixedBatchSize(1000), until=duration)
@@ -108,6 +134,7 @@ def run_ext_faults(
     duration: float = 30.0,
     drain: float = 5.0,
     seed: int = 4,
+    backend: str = "sim",
 ) -> ExperimentResult:
     result = ExperimentResult(
         name="ext_faults",
@@ -130,7 +157,8 @@ def run_ext_faults(
         "cameo (no faults)": ("cameo", None, False),
     }
     for label, (scheduler, variant_schedule, shed) in variants.items():
-        engine = _build_and_drive(scheduler, duration, seed, variant_schedule, shed)
+        engine = _build_and_drive(scheduler, duration, seed, variant_schedule,
+                                  shed, backend=backend)
         engine.run(until=duration + drain)
         ls_jobs = engine.metrics.jobs_in_group("LS")
         on_time = sum(j.on_time_count() for j in ls_jobs)
@@ -152,6 +180,6 @@ def run_ext_faults(
             "recovery": recovery,
             "fault_report": report,
             "timeline": list(engine.fault_timeline.events)
-            if engine.fault_timeline is not None else [],
+            if getattr(engine, "fault_timeline", None) is not None else [],
         }
     return result

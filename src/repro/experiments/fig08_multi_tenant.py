@@ -10,6 +10,12 @@ Three sweeps with a fixed group of LS jobs (800 ms target) against BA jobs
 Paper shapes: all three schedulers are comparable below saturation; beyond
 it, Orleans and FIFO degrade LS latency by multiples (FIFO worst at the
 tail) while Cameo stays stable; Cameo's impact on BA jobs is small.
+
+Every panel accepts ``backend="mp"`` to execute the identical sweep on
+real worker processes (sources replayed in-worker, costs realised per
+``mp_cost_mode``) instead of the discrete-event simulator — same jobs,
+same drivers, same metrics surface.  The sim default path is untouched
+and stays bit-identical.
 """
 
 from __future__ import annotations
@@ -23,10 +29,17 @@ from repro.experiments.common import (
 )
 
 
+def _backend_overrides(backend: str):
+    """``config_overrides`` for a panel; ``None`` keeps the sim path
+    byte-for-byte identical to what it built before the knob existed."""
+    return None if backend == "sim" else {"backend": backend}
+
+
 def run_fig08a(
     rates: tuple = (20.0, 60.0, 100.0, 140.0),
     duration: float = 30.0,
     seed: int = 4,
+    backend: str = "sim",
 ) -> ExperimentResult:
     """(a) sweep BA per-source message rate."""
     result = ExperimentResult(
@@ -41,7 +54,8 @@ def run_fig08a(
         mix = TenantMix(ls_count=4, ba_count=4, ba_msg_rate=rate)
         for scheduler in SCHEDULERS:
             engine = run_tenant_mix(scheduler, mix, duration=duration, seed=seed,
-                                    nodes=2, workers_per_node=2)
+                                    nodes=2, workers_per_node=2,
+                                    config_overrides=_backend_overrides(backend))
             ls = group_row(engine, "LS", duration)
             ba = group_row(engine, "BA", duration)
             result.rows.append([rate, scheduler, ls["p50"] * 1e3, ls["p99"] * 1e3,
@@ -55,6 +69,7 @@ def run_fig08b(
     ba_rate: float = 30.0,
     duration: float = 30.0,
     seed: int = 4,
+    backend: str = "sim",
 ) -> ExperimentResult:
     """(b) sweep the number of BA tenants."""
     result = ExperimentResult(
@@ -68,7 +83,8 @@ def run_fig08b(
         mix = TenantMix(ls_count=4, ba_count=count, ba_msg_rate=ba_rate)
         for scheduler in SCHEDULERS:
             engine = run_tenant_mix(scheduler, mix, duration=duration, seed=seed,
-                                    nodes=2, workers_per_node=2)
+                                    nodes=2, workers_per_node=2,
+                                    config_overrides=_backend_overrides(backend))
             ls = group_row(engine, "LS", duration)
             ba = group_row(engine, "BA", duration)
             result.rows.append([count, scheduler, ls["p50"] * 1e3, ls["p99"] * 1e3,
@@ -82,6 +98,7 @@ def run_fig08c(
     ba_rate: float = 65.0,
     duration: float = 30.0,
     seed: int = 4,
+    backend: str = "sim",
 ) -> ExperimentResult:
     """(c) shrink the worker pool (paper: SEDA-style thread-pool resizing)."""
     result = ExperimentResult(
@@ -96,7 +113,8 @@ def run_fig08c(
         mix = TenantMix(ls_count=4, ba_count=4, ba_msg_rate=ba_rate)
         for scheduler in SCHEDULERS:
             engine = run_tenant_mix(scheduler, mix, duration=duration, seed=seed,
-                                    nodes=2, workers_per_node=workers)
+                                    nodes=2, workers_per_node=workers,
+                                    config_overrides=_backend_overrides(backend))
             ls = group_row(engine, "LS", duration)
             ba = group_row(engine, "BA", duration)
             result.rows.append([workers, scheduler, ls["p50"] * 1e3, ls["p99"] * 1e3,
@@ -105,11 +123,11 @@ def run_fig08c(
     return result
 
 
-def run_fig08(**kwargs) -> ExperimentResult:
+def run_fig08(backend: str = "sim", **kwargs) -> ExperimentResult:
     """All three panels concatenated (benchmark entry point)."""
-    a = run_fig08a(**kwargs.get("a", {}))
-    b = run_fig08b(**kwargs.get("b", {}))
-    c = run_fig08c(**kwargs.get("c", {}))
+    a = run_fig08a(backend=backend, **kwargs.get("a", {}))
+    b = run_fig08b(backend=backend, **kwargs.get("b", {}))
+    c = run_fig08c(backend=backend, **kwargs.get("c", {}))
     combined = ExperimentResult(
         name="fig08",
         title="Multi-tenant sweeps (a: rate, b: tenants, c: workers)",

@@ -16,7 +16,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (keep sim/ import lazy)
 SCHEDULERS = ("cameo", "orleans", "fifo")
 POLICIES = ("llf", "edf", "sjf", "constant", "token")
 BACKENDS = ("sim", "mp")
-MP_COST_MODES = ("sleep", "none")
+MP_COST_MODES = ("sleep", "spin", "none")
+MP_INGEST_MODES = ("worker", "coordinator")
 
 
 @dataclass
@@ -96,8 +97,26 @@ class EngineConfig:
         mp_cost_mode: how the mp backend realizes sampled execution costs
             in wall-clock time: ``"sleep"`` occupies the worker for the
             sampled duration (costs overlap across processes, so N workers
-            give ~N× throughput even on few cores), ``"none"`` skips cost
-            realization (pure runtime-overhead measurement).
+            give ~N× throughput even on few cores), ``"spin"`` burns the
+            sampled duration as calibrated CPU work (a fixed iteration
+            count per second of cost, calibrated once per worker at
+            startup under full cluster concurrency — see
+            ``docs/architecture.md``), making scaling genuinely CPU-bound
+            on hosts with at least one core per worker, ``"none"`` skips
+            cost realization (pure runtime-overhead measurement).
+        mp_ingest_mode: who replays the captured ingest trace:
+            ``"worker"`` (default) forks each worker with its shard of the
+            trace and a per-worker ``IngestDriver`` replays it against the
+            local clock — the coordinator stays out of the data path and
+            acts as pure control plane (heartbeats, fail-over, quiescence,
+            metrics merge), retaining the full ledger only for fail-over
+            replay; ``"coordinator"`` streams every entry through
+            ``INGEST`` frames from the parent process (the PR 6 behaviour,
+            useful when a single pacing clock must arbitrate sources).
+        mp_poll_interval: upper bound (seconds) on every mp poll tick —
+            the worker's idle ``conn_wait`` and the coordinator's
+            heartbeat-draining wait are both capped by it.  Smaller values
+            tighten reaction latency at the cost of idle CPU wakeups.
         mp_loss_rate: probability that the mp backend's receiver drops an
             incoming data entry before admission (simulated lossy network
             over the real pipes) — exercises the go-back-N retransmit
@@ -141,6 +160,8 @@ class EngineConfig:
     shed_slack: float = 0.0
     backend: str = "sim"
     mp_cost_mode: str = "sleep"
+    mp_ingest_mode: str = "worker"
+    mp_poll_interval: float = 0.02
     mp_loss_rate: float = 0.0
     mp_realtime: bool = True
     mp_wall_timeout: Optional[float] = None
@@ -155,6 +176,13 @@ class EngineConfig:
             raise ValueError(
                 f"unknown mp cost mode {self.mp_cost_mode!r}; expected {MP_COST_MODES}"
             )
+        if self.mp_ingest_mode not in MP_INGEST_MODES:
+            raise ValueError(
+                f"unknown mp ingest mode {self.mp_ingest_mode!r}; "
+                f"expected {MP_INGEST_MODES}"
+            )
+        if self.mp_poll_interval <= 0:
+            raise ValueError("mp poll interval must be positive")
         if not 0.0 <= self.mp_loss_rate < 1.0:
             raise ValueError("mp loss rate must be within [0, 1)")
         if self.mp_wall_timeout is not None and self.mp_wall_timeout <= 0:

@@ -1,24 +1,40 @@
-"""Coordinator of the mp backend: spawn, feed, watch, collect.
+"""Coordinator of the mp backend: spawn, watch, collect — and feed only
+when it must.
 
 The coordinator is the parent process.  It creates the full pipe mesh
 (coordinator <-> worker plus worker <-> worker, all before forking so
 every process inherits its ends), forks one worker per configured node,
-replays the deterministically captured ingest trace into the source
-owners, watches heartbeats for failures, and finally collects and merges
-every worker's :class:`~repro.metrics.collectors.MetricsHub`.
+watches heartbeats for failures, and finally collects and merges every
+worker's :class:`~repro.metrics.collectors.MetricsHub`.
 
-Ingest durability (the upstream-backup story): the coordinator assigns a
-per-source sequence number to every trace entry and keeps the entry in a
-ledger until the owning worker's heartbeat reports a processed watermark
-at or past it.  When a worker dies, the dead node's operators are
-reassigned round-robin to the survivors, a ``REWIRE`` frame announces the
-new placement to everyone (senders re-incarnate their channels with a
-reset + replay), and the un-acked ledger suffix of every moved source is
-replayed to its new owner.  Messages that had been *admitted* to the dead
-node's mailboxes but not processed are re-sent by their upstream's
-go-back-N buffer; in-flight window state of moved operators is rebuilt
-from scratch — the same at-least-once contract as the sim backend's
-recovery layer, realized across real process boundaries.
+In the default worker-ingest mode (``mp_ingest_mode="worker"``) each
+worker inherits its shard of the sequenced trace through fork and replays
+it locally, so the coordinator is **pure control plane**: no data ever
+flows through the parent during normal operation.  In coordinator-replay
+mode (``"coordinator"``) the parent streams every entry through
+``INGEST`` frames, paced or flooded.  With ``mp_cost_mode="spin"`` a
+calibration barrier sits between READY and START: the coordinator
+broadcasts ``CALIBRATE`` once every worker is up, and starts the epoch
+only after every ``CAL_DONE`` — forcing the per-worker spin-rate
+measurements to overlap so they price in deployment-level CPU contention.
+
+Ingest durability (the upstream-backup story): every trace entry carries
+a per-source sequence number and stays in the coordinator's ledger until
+the owning worker's heartbeat reports a processed watermark at or past it
+— in worker-ingest mode the ledger starts out holding the *whole* trace
+and only ever shrinks (it is the fail-over reserve, not a send queue).
+When a worker dies, the dead node's operators are reassigned round-robin
+to the survivors and a ``REWIRE`` frame announces the new placement to
+everyone (senders re-incarnate their channels with a reset + replay).
+The un-acked ledger suffix of every moved source then reaches its new
+owner through ``INGEST`` frames: coordinator mode replays it directly,
+worker mode splices it into the feed queue (removing it from the ledger
+first — the feed re-appends as it ships) so pacing and chunking apply to
+the replay too.  Messages that had been *admitted* to the dead node's
+mailboxes but not processed are re-sent by their upstream's go-back-N
+buffer; in-flight window state of moved operators is rebuilt from
+scratch — the same at-least-once contract as the sim backend's recovery
+layer, realized across real process boundaries.
 
 Termination is a distributed quiescence check: the trace is fully sent,
 every ledger is empty (all ingest processed), and every live worker
@@ -37,6 +53,8 @@ from multiprocessing.connection import wait as conn_wait
 from repro.dataflow.operators import OpAddress
 from repro.metrics.collectors import MetricsHub
 from repro.runtime.mp.frames import (
+    CAL_DONE,
+    CALIBRATE,
     HB,
     INGEST,
     READY,
@@ -47,6 +65,7 @@ from repro.runtime.mp.frames import (
     recv_frame,
     send_frame,
 )
+from repro.runtime.mp.ingest import sequence_trace, shard_by_owner
 from repro.runtime.mp.worker import worker_main
 from repro.runtime.placement import Placement
 from repro.runtime.topology import client_key
@@ -130,6 +149,9 @@ class MpCoordinator:
         self._n = config.nodes
         #: live placement view (address -> node), updated on fail-over
         self._op_node = self._initial_placement()
+        self._worker_ingest = config.mp_ingest_mode == "worker"
+        #: sequenced trace: (trace_time, entry) pairs + final seq per source
+        self._timed, self._last_seq = sequence_trace(trace)
         self.info: dict = {}
 
     def _initial_placement(self) -> dict:
@@ -163,11 +185,33 @@ class MpCoordinator:
                 end_i, end_j = ctx.Pipe(duplex=True)
                 peer_ends[i][j] = end_i
                 peer_ends[j][i] = end_j
+        # worker-ingest mode: each worker inherits its trace shard through
+        # fork (no pickling, copy-on-write pages) and replays it locally
+        shards = (
+            shard_by_owner(self._timed, self._source_owner, self._n)
+            if self._worker_ingest else {}
+        )
+        # every pipe end worker i inherits but does not own — it must
+        # close them on startup so a dead peer's ends actually reach
+        # zero holders and writes to it raise instead of blocking (see
+        # worker_main)
+        unused = {
+            i: [conn for conn in coord_ends]
+            + [child_ends[j] for j in range(self._n) if j != i]
+            + [
+                conn
+                for j in range(self._n)
+                if j != i
+                for conn in peer_ends[j].values()
+            ]
+            for i in range(self._n)
+        }
         procs = [
             ctx.Process(
                 target=worker_main,
                 args=(i, config, self._jobs, self._policy,
-                      child_ends[i], peer_ends[i]),
+                      child_ends[i], peer_ends[i], shards.get(i),
+                      unused[i]),
                 daemon=True,
             )
             for i in range(self._n)
@@ -211,26 +255,48 @@ class MpCoordinator:
                 kind, payload = recv_frame(event)
                 assert kind == READY
                 ready.add(payload)
+
+        # spin-mode calibration barrier: all workers measure their spin
+        # rate *concurrently* (see worker.calibrate_spin_rate), then START
+        spin_rates: dict[int, float] = {}
+        if config.mp_cost_mode == "spin":
+            for conn in conns:
+                send_frame(conn, CALIBRATE)
+            deadline = time.monotonic() + 60.0
+            while len(spin_rates) < self._n:
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"calibration never finished: {sorted(spin_rates)}"
+                    )
+                for event in conn_wait(
+                    [conns[i] for i in range(self._n) if i not in spin_rates],
+                    timeout=1.0,
+                ):
+                    kind, payload = recv_frame(event)
+                    assert kind == CAL_DONE
+                    spin_rates[payload[0]] = payload[1]
+
         epoch = time.monotonic()
         for conn in conns:
             send_frame(conn, START, epoch)
 
-        # ingest ledger: sequence entries in trace order, retain until the
-        # owner's heartbeat watermark passes them
-        pending = deque()
-        next_seq: dict[tuple, int] = {}
-        last_seq: dict[tuple, int] = {}
+        # ingest ledger: retain every sequenced entry until the owner's
+        # heartbeat watermark passes it.  Coordinator mode additionally
+        # queues everything for INGEST-frame replay; worker mode feeds
+        # nothing (workers own their shards) — the feed queue only fills
+        # on fail-over, with the moved sources' ledger remainders.
+        pending: deque = deque()
+        last_seq = self._last_seq
         ledger: dict[tuple, deque] = {}
         acked: dict[tuple, int] = {}
-        for trace_time, src_key, times, values, keys, sorted_times in self._trace:
-            seq = next_seq.get(src_key, 0)
-            next_seq[src_key] = seq + 1
-            last_seq[src_key] = seq
-            entry = (src_key, seq, trace_time, times, values, keys, sorted_times)
-            pending.append((trace_time, entry))
-        for src_key in next_seq:
+        for src_key in last_seq:
             ledger[src_key] = deque()
             acked[src_key] = -1
+        if self._worker_ingest:
+            for _trace_time, entry in self._timed:
+                ledger[entry[0]].append(entry)
+        else:
+            pending.extend(self._timed)
 
         alive = set(range(self._n))
         now = 0.0
@@ -272,7 +338,7 @@ class MpCoordinator:
                 fault_log.append(
                     (node_id, crash_time.get(node_id, last_hb[node_id]), now)
                 )
-                self._fail_over(node_id, alive, conns, ledger, acked, last_seq)
+                self._fail_over(node_id, alive, conns, pending, ledger, acked)
                 for i in alive:
                     idle_streak[i] = 0  # re-quiesce after the rewire
             if (
@@ -288,7 +354,10 @@ class MpCoordinator:
             if pending and realtime:
                 timeout = min(timeout, max(0.0, pending[0][0] - elapsed()))
             if timeout > 0:
-                conn_wait([conns[i] for i in alive], timeout=min(timeout, 0.05))
+                conn_wait(
+                    [conns[i] for i in alive],
+                    timeout=min(timeout, config.mp_poll_interval),
+                )
 
         for i in alive:
             try:
@@ -304,6 +373,9 @@ class MpCoordinator:
             "workers": self._n,
             "survivors": sorted(alive),
             "forced_stop": forced_stop,
+            "cost_mode": config.mp_cost_mode,
+            "ingest_mode": config.mp_ingest_mode,
+            "spin_rates": spin_rates,
             "reports": {node: stats for node, (_, stats) in reports.items()},
             "fifo_violations": sum(
                 stats["fifo_violations"] for _, stats in reports.values()
@@ -360,8 +432,8 @@ class MpCoordinator:
                         while entries and entries[0][1] <= watermark:
                             entries.popleft()
 
-    def _fail_over(self, dead: int, alive: set, conns: list,
-                   ledger: dict, acked: dict, last_seq: dict) -> None:
+    def _fail_over(self, dead: int, alive: set, conns: list, pending: deque,
+                   ledger: dict, acked: dict) -> None:
         """Reassign the dead node's operators and replay unacked ingest."""
         survivors = sorted(alive)
         mapping = {}
@@ -376,17 +448,33 @@ class MpCoordinator:
                 send_frame(conns[i], REWIRE, (mapping, dead))
             except (BrokenPipeError, OSError):
                 pass
+        spliced = []
         for src_key in ledger:
             _, job, stage, index = src_key
             if OpAddress(job, stage, index) not in mapping:
                 continue
             replays = [e for e in ledger[src_key] if e[1] > acked[src_key]]
+            if self._worker_ingest:
+                # the dead owner held these in its fork-inherited shard;
+                # splice them into the feed queue (clearing the ledger
+                # first — _feed re-appends as it ships) so the survivor
+                # receives them as paced/chunked INGEST frames
+                ledger[src_key].clear()
+                spliced.extend((entry[2], entry) for entry in replays)
+                continue
             conn = conns[self._source_owner(src_key)]
             for start in range(0, len(replays), _INGEST_CHUNK):
                 try:
                     send_frame(conn, INGEST, replays[start:start + _INGEST_CHUNK])
                 except (BrokenPipeError, OSError):
                     break
+        if spliced:
+            merged = sorted(
+                list(pending) + spliced,
+                key=lambda item: (item[0], item[1][0], item[1][1]),
+            )
+            pending.clear()
+            pending.extend(merged)
 
     def _collect_reports(self, conns: list, alive: set) -> dict:
         reports: dict[int, tuple] = {}

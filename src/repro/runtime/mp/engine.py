@@ -9,9 +9,13 @@ Runs the same two phases every mp run needs:
    bit-identical ingest trace to what the sim backend would have fed its
    transport: same arrival instants, same batch contents, same order.
 2. **Replay** — :class:`~repro.runtime.mp.coordinator.MpCoordinator`
-   forks the workers and replays the trace, paced against the wall clock
-   (``mp_realtime=True``) or flooded as fast as the workers drain it
-   (benchmarks).
+   sequences the trace (per-source seqs), forks the workers and replays
+   it, paced against the wall clock (``mp_realtime=True``) or flooded as
+   fast as the workers drain it (benchmarks).  Replay location is
+   ``mp_ingest_mode``: ``"worker"`` shards the trace by source owner and
+   each worker's :class:`~repro.runtime.mp.ingest.IngestDriver` replays
+   its fork-inherited shard locally (coordinator = pure control plane);
+   ``"coordinator"`` streams every entry through ``INGEST`` frames.
 
 After :meth:`run`, ``.metrics`` holds the merged
 :class:`~repro.metrics.collectors.MetricsHub` of every worker and

@@ -1,44 +1,87 @@
 """Wire frames of the process backend.
 
-Everything crossing a pipe is one *frame*: a pickled ``(kind, payload)``
-tuple written with ``Connection.send_bytes`` (one length-prefixed syscall
-per frame).  Data-plane frames are *batched*: a single ``DATA`` frame
-carries every entry a worker produced for one destination during a
-dispatch quantum — messages, coalesced cumulative acks, reply contexts
-and channel resets — so the hot send path pays one syscall per quantum,
-not one per message.
+Everything crossing a pipe is one *frame* written with
+``Connection.send_bytes`` (one length-prefixed syscall per frame).  Two
+encodings share the pipe and are discriminated by the first byte:
 
-Frame kinds
------------
+* **Control frames** — a pickled ``(kind, payload)`` tuple (pickle frames
+  start with ``b"\\x80"``).  Rare, shapes vary, pickle is fine.
+* **Binary DATA frames** (magic ``0xC3``) — the data-plane fast path.  A
+  single frame carries every entry a worker produced for one destination
+  during a dispatch quantum — messages, coalesced cumulative acks, reply
+  contexts and channel resets — struct-packed: a fixed-layout record per
+  entry kind, numeric fields packed little-endian, event arrays appended
+  as raw ``float64``/``int64`` bytes, and operator/client addresses (plus
+  stage-name strings) *interned per connection direction* so each address
+  crosses the pipe once (a pickled ``DEF`` record) and is a 4-byte id
+  ever after.  Pipes are FIFO, so a definition always precedes its uses;
+  entries that do not match the fast shape (a message carrying a reply
+  context, an exotic priority-context subclass) degrade to a per-entry
+  pickle record inside the same frame — the fast path is an encoding
+  choice, never a semantic constraint.
 
-========  =========  ====================================================
-kind      direction  payload
-========  =========  ====================================================
-READY     w -> c     ``node_id`` — worker finished booting its topology
-START     c -> w     ``epoch`` — shared wall-clock base (CLOCK_MONOTONIC)
-INGEST    c -> w     list of ``(src_key, seq, trace_time, times, values,
-                     keys, sorted)`` ingest entries
-DATA      w <-> w    list of entries: ``("msg", Message)``,
-                     ``("ack", channel_key, admitted, processed)``,
-                     ``("reply", sender_key, replier_stage, rc)``,
-                     ``("reset", channel_key, base_seq)``
-HB        w -> c     ``(node_id, idle, ingest_acks, processed_total)``
-REWIRE    c -> w     ``({address: new_node_id}, dead_node_id)``
-STOP      c -> w     ``None`` — drain nothing further, report and exit
-REPORT    w -> c     ``(node_id, MetricsHub, worker_stats)``
-========  =========  ====================================================
+Control frame kinds
+-------------------
 
-Messages, contexts and batches are pickle-clean by construction (explicit
-``__getstate__``/``__setstate__`` on every ``__slots__`` hot-path class),
-so frames carry the exact runtime objects — no translation layer.
+=========  =========  ===================================================
+kind       direction  payload
+=========  =========  ===================================================
+READY      w -> c     ``node_id`` — worker finished booting its topology
+CALIBRATE  c -> w     ``None`` — run the spin-cost calibration *now*
+                      (all workers calibrate concurrently; spin mode only)
+CAL_DONE   w -> c     ``(node_id, spin_rate)`` — calibration finished
+START      c -> w     ``epoch`` — shared wall-clock base (CLOCK_MONOTONIC)
+INGEST     c -> w     list of ``(src_key, seq, trace_time, times, values,
+                      keys, sorted)`` ingest entries (coordinator-replay
+                      mode and fail-over shard replay)
+HB         w -> c     ``(node_id, idle, ingest_acks, processed_total)``
+REWIRE     c -> w     ``({address: new_node_id}, dead_node_id)``
+STOP       c -> w     ``None`` — drain nothing further, report and exit
+REPORT     w -> c     ``(node_id, MetricsHub, worker_stats)``
+=========  =========  ===================================================
+
+Binary DATA records (after the magic byte; all little-endian)
+-------------------------------------------------------------
+
+=======  ==========================================================
+tag      layout
+=======  ==========================================================
+1 DEF    u32 id, u32 len, pickle(object) — interning definition
+2 MSG    u32 sender_id, u32 target_id, u8 flags (bit0 = has PC),
+         i64 msg_id, i64 seq, i32 channel_index, f64 p, f64 t,
+         f64 deps_arrival, f64 batch.arrival_time, u32 n,
+         i32 source_id, u8 times_sorted, then n×f64 logical times,
+         n×f64 values, n×i64 keys, then (flags bit0) the PC record:
+         i64 msg_id, f64 ×6 (pri_local, pri_global, p_mf, t_mf,
+         latency_constraint, deadline), i64 token_interval
+3 ACK    u32 sender_id, u32 target_id, i64 admitted, i64 processed
+4 REPLY  u32 sender_id, u32 stage_id, f64 c_m, f64 c_path,
+         f64 queueing_delay, i64 mailbox_size
+5 RESET  u32 sender_id, u32 target_id, i64 base_seq
+6 RAW    u32 len, pickle(entry) — fallback for non-fast shapes
+=======  ==========================================================
+
+Sequence numbers, msg ids and enqueue times travel exactly as the
+pickled path shipped them (``enqueue_time`` is receiver-local and is
+rebuilt as NaN); decoded messages are the *same* messages — the global
+id counter is never consulted on the receiving side.
 """
 
 from __future__ import annotations
 
 import pickle
+import struct
 from typing import Any
 
+import numpy as np
+
+from repro.core.context import PriorityContext, ReplyContext
+from repro.dataflow.events import EventBatch
+from repro.dataflow.messages import Message, MessageKind
+
 READY = "ready"
+CALIBRATE = "cal"
+CAL_DONE = "cal_done"
 START = "start"
 INGEST = "ingest"
 DATA = "data"
@@ -47,12 +90,239 @@ REWIRE = "rewire"
 STOP = "stop"
 REPORT = "report"
 
+#: first byte of a binary DATA frame (pickle frames start with 0x80)
+DATA_MAGIC = b"\xc3"
+
+_PROTO = pickle.HIGHEST_PROTOCOL
+_NAN = float("nan")
+
+_TAG_DEF = 1
+_TAG_MSG = 2
+_TAG_ACK = 3
+_TAG_REPLY = 4
+_TAG_RESET = 5
+_TAG_RAW = 6
+
+_DEF = struct.Struct("<BII")
+_MSG = struct.Struct("<BIIBqqiddddIiB")
+_ACK = struct.Struct("<BIIqq")
+_REPLY = struct.Struct("<BIIdddq")
+_RESET = struct.Struct("<BIIq")
+_RAW = struct.Struct("<BI")
+_PC = struct.Struct("<q6dq")
+
 
 def send_frame(conn, kind: str, payload: Any = None) -> None:
-    """Write one frame (single syscall via ``send_bytes``)."""
-    conn.send_bytes(pickle.dumps((kind, payload), protocol=pickle.HIGHEST_PROTOCOL))
+    """Write one control frame (single syscall via ``send_bytes``)."""
+    conn.send_bytes(pickle.dumps((kind, payload), protocol=_PROTO))
 
 
 def recv_frame(conn) -> tuple:
-    """Read one frame; returns ``(kind, payload)``."""
+    """Read one control frame; returns ``(kind, payload)``."""
     return pickle.loads(conn.recv_bytes())
+
+
+class DataCodec:
+    """Binary encoder/decoder for one pipe (one codec per peer connection).
+
+    The encoder half interns the addresses *this* side sends; the decoder
+    half resolves the ids the *other* side assigned.  The two directions
+    are independent id spaces, so a single codec object per connection
+    serves both.  State only ever grows with the (small, bounded) set of
+    operator addresses and stage names — it survives fail-over rewires
+    unchanged because addresses are stable identities."""
+
+    __slots__ = ("_ids", "_objs")
+
+    def __init__(self):
+        self._ids: dict = {}    # encoder: object -> id
+        self._objs: list = []   # decoder: id -> object
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+
+    def _intern(self, obj, parts: list) -> int:
+        ids = self._ids
+        id_ = ids.get(obj)
+        if id_ is None:
+            id_ = len(ids)
+            ids[obj] = id_
+            blob = pickle.dumps(obj, protocol=_PROTO)
+            parts.append(_DEF.pack(_TAG_DEF, id_, len(blob)))
+            parts.append(blob)
+        return id_
+
+    def encode_data(self, entries: list) -> bytes:
+        """One binary DATA frame carrying every entry, fast paths first."""
+        parts: list = [DATA_MAGIC]
+        intern = self._intern
+        for entry in entries:
+            tag = entry[0]
+            if tag == "msg":
+                msg = entry[1]
+                batch = msg.batch
+                pc = msg.pc
+                if (
+                    msg.kind is not MessageKind.DATA
+                    or msg.rc is not None
+                    or batch is None
+                    or (pc is not None and type(pc) is not PriorityContext)
+                ):
+                    self._raw(entry, parts)
+                    continue
+                sender_id = intern(msg.sender, parts)
+                target_id = intern(msg.target, parts)
+                times = np.ascontiguousarray(batch.logical_times)
+                values = np.ascontiguousarray(batch.values)
+                keys = np.ascontiguousarray(batch.keys)
+                parts.append(_MSG.pack(
+                    _TAG_MSG, sender_id, target_id,
+                    1 if pc is not None else 0,
+                    msg.msg_id, msg.seq, msg.channel_index,
+                    msg.p, msg.t, msg.deps_arrival,
+                    batch.arrival_time, len(times), batch.source_id,
+                    1 if batch.times_sorted else 0,
+                ))
+                parts.append(times.tobytes())
+                parts.append(values.tobytes())
+                parts.append(keys.tobytes())
+                if pc is not None:
+                    parts.append(_PC.pack(
+                        pc.msg_id, pc.pri_local, pc.pri_global, pc.p_mf,
+                        pc.t_mf, pc.latency_constraint, pc.deadline,
+                        pc.token_interval,
+                    ))
+            elif tag == "ack":
+                _, key, admitted, processed = entry
+                parts.append(_ACK.pack(
+                    _TAG_ACK, intern(key[0], parts), intern(key[1], parts),
+                    admitted, processed,
+                ))
+            elif tag == "reply":
+                _, sender, stage, rc = entry
+                if type(rc) is not ReplyContext:
+                    self._raw(entry, parts)
+                    continue
+                parts.append(_REPLY.pack(
+                    _TAG_REPLY, intern(sender, parts), intern(stage, parts),
+                    rc.c_m, rc.c_path, rc.queueing_delay, rc.mailbox_size,
+                ))
+            elif tag == "reset":
+                _, key, base_seq = entry
+                parts.append(_RESET.pack(
+                    _TAG_RESET, intern(key[0], parts), intern(key[1], parts),
+                    base_seq,
+                ))
+            else:
+                self._raw(entry, parts)
+        return b"".join(parts)
+
+    @staticmethod
+    def _raw(entry, parts: list) -> None:
+        blob = pickle.dumps(entry, protocol=_PROTO)
+        parts.append(_RAW.pack(_TAG_RAW, len(blob)))
+        parts.append(blob)
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+
+    def decode_data(self, buf: bytes) -> list:
+        """Decode one binary DATA frame back into transport entries."""
+        if buf[:1] != DATA_MAGIC:
+            raise ValueError("not a binary DATA frame")
+        objs = self._objs
+        entries: list = []
+        offset = 1
+        end = len(buf)
+        while offset < end:
+            tag = buf[offset]
+            if tag == _TAG_MSG:
+                (
+                    _, sender_id, target_id, flags, msg_id, seq,
+                    channel_index, p, t, deps_arrival, arrival_time, n,
+                    source_id, times_sorted,
+                ) = _MSG.unpack_from(buf, offset)
+                offset += _MSG.size
+                times = np.frombuffer(buf, np.float64, n, offset).copy()
+                offset += n * 8
+                values = np.frombuffer(buf, np.float64, n, offset).copy()
+                offset += n * 8
+                keys = np.frombuffer(buf, np.int64, n, offset).copy()
+                offset += n * 8
+                pc = None
+                if flags & 1:
+                    (
+                        pc_msg_id, pri_local, pri_global, p_mf, t_mf,
+                        latency_constraint, deadline, token_interval,
+                    ) = _PC.unpack_from(buf, offset)
+                    offset += _PC.size
+                    pc = PriorityContext(
+                        msg_id=pc_msg_id, pri_local=pri_local,
+                        pri_global=pri_global, p_mf=p_mf, t_mf=t_mf,
+                        latency_constraint=latency_constraint,
+                        deadline=deadline, token_interval=token_interval,
+                    )
+                msg = Message.__new__(Message)
+                msg.target = objs[target_id]
+                msg.batch = EventBatch._raw(
+                    times, values, keys, arrival_time, source_id,
+                    bool(times_sorted),
+                )
+                msg.p = p
+                msg.t = t
+                msg.deps_arrival = deps_arrival
+                msg.sender = objs[sender_id]
+                msg.kind = MessageKind.DATA
+                msg.pc = pc
+                msg.rc = None
+                msg.channel_index = channel_index
+                msg.msg_id = msg_id
+                msg.enqueue_time = _NAN
+                msg.seq = seq
+                msg.retries = 0
+                entries.append(("msg", msg))
+            elif tag == _TAG_ACK:
+                _, sender_id, target_id, admitted, processed = _ACK.unpack_from(
+                    buf, offset
+                )
+                offset += _ACK.size
+                entries.append(
+                    ("ack", (objs[sender_id], objs[target_id]), admitted, processed)
+                )
+            elif tag == _TAG_REPLY:
+                (
+                    _, sender_id, stage_id, c_m, c_path, queueing_delay,
+                    mailbox_size,
+                ) = _REPLY.unpack_from(buf, offset)
+                offset += _REPLY.size
+                rc = ReplyContext(
+                    c_m=c_m, c_path=c_path, queueing_delay=queueing_delay,
+                    mailbox_size=mailbox_size,
+                )
+                entries.append(("reply", objs[sender_id], objs[stage_id], rc))
+            elif tag == _TAG_RESET:
+                _, sender_id, target_id, base_seq = _RESET.unpack_from(buf, offset)
+                offset += _RESET.size
+                entries.append(
+                    ("reset", (objs[sender_id], objs[target_id]), base_seq)
+                )
+            elif tag == _TAG_DEF:
+                _, id_, length = _DEF.unpack_from(buf, offset)
+                offset += _DEF.size
+                obj = pickle.loads(buf[offset:offset + length])
+                offset += length
+                if id_ != len(objs):  # pragma: no cover - protocol guard
+                    raise ValueError(
+                        f"interning id {id_} out of order (have {len(objs)})"
+                    )
+                objs.append(obj)
+            elif tag == _TAG_RAW:
+                _, length = _RAW.unpack_from(buf, offset)
+                offset += _RAW.size
+                entries.append(pickle.loads(buf[offset:offset + length]))
+                offset += length
+            else:  # pragma: no cover - protocol guard
+                raise ValueError(f"unknown DATA record tag {tag}")
+        return entries

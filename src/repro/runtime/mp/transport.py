@@ -10,11 +10,13 @@ layer into per-destination **outboxes** that :meth:`flush` ships as one
 batching that keeps the hot send path at one syscall per quantum instead
 of one per message.
 
-Ingestion entries arrive from the coordinator with a per-source sequence
-number (the coordinator is the durable "client" of the upstream-backup
-story); the transport deduplicates replay overlap after a fail-over and
-reports per-source processed watermarks back in heartbeats so the
-coordinator can trim its ledger.
+Ingestion entries carry a per-source sequence number and arrive either
+from the local :class:`~repro.runtime.mp.ingest.IngestDriver`
+(worker-ingest mode) or from the coordinator's ``INGEST`` frames
+(coordinator-replay mode and fail-over shard replay); the transport
+deduplicates replay overlap after a fail-over and reports per-source
+processed watermarks back in heartbeats so the coordinator can trim its
+durable ledger.
 
 Every admission to a mailbox passes the per-channel FIFO audit: a
 sequence number at or below the previously admitted one on the same
@@ -55,6 +57,7 @@ class ProcessTransport:
         #: node_id -> pending wire entries (flushed as one frame each)
         self._outboxes: dict[int, list] = {}
         self._conns: dict = {}
+        self._codecs: dict = {}
         #: per-source ingest bookkeeping:
         #: src_key -> [last_seen_seq, processed_watermark, out_of_order_set]
         self._ingest_state: dict[tuple, list] = {}
@@ -62,9 +65,15 @@ class ProcessTransport:
         self._audit: dict[tuple, int] = {}
         self.fifo_violations = 0
 
-    def attach_conns(self, conns: dict) -> None:
-        """Bind the peer connections (node_id -> Connection)."""
+    def attach_conns(self, conns: dict, codecs: dict | None = None) -> None:
+        """Bind the peer connections (node_id -> Connection).
+
+        ``codecs`` maps peers to their :class:`~repro.runtime.mp.frames.
+        DataCodec`; destinations with one flush compact binary DATA
+        frames, destinations without fall back to pickled frames (tests
+        exercising the transport over bare pipes)."""
         self._conns = conns
+        self._codecs = codecs or {}
 
     # ------------------------------------------------------------------
     # ingestion (coordinator -> source operator)
@@ -302,7 +311,18 @@ class ProcessTransport:
                 continue
             conn = self._conns.get(node_id)
             if conn is not None:
-                send_frame(conn, DATA, entries)
+                try:
+                    codec = self._codecs.get(node_id)
+                    if codec is not None:
+                        conn.send_bytes(codec.encode_data(entries))
+                    else:
+                        send_frame(conn, DATA, entries)
+                except (BrokenPipeError, OSError):
+                    # peer died mid-run: drop the frame — every message in
+                    # it sits in a go-back-N send buffer and replays to the
+                    # survivor once the coordinator's REWIRE lands; acks
+                    # for a dead sender have no one left to care
+                    pass
             self._outboxes[node_id] = []
 
     def pending_output(self) -> bool:

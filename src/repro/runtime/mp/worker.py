@@ -3,35 +3,47 @@
 Each worker rebuilds the *entire* topology locally (placement is a pure
 function of the config, so every process derives the same wiring) but
 executes only the operators placed on its node.  The dispatch loop is the
-wall-clock analogue of :class:`~repro.runtime.node.NodeRuntime`: pop an
-operator from the run queue in the scheduler's order, run its messages
-for a quantum, requeue, and between quanta drain the pipes, retransmit
-expired channels, flush the outboxes (one ``DATA`` frame per destination
-— the amortized batch) and heartbeat the coordinator.
+wall-clock analogue of :class:`~repro.runtime.node.NodeRuntime`: pump the
+local ingest shard (worker-ingest mode), pop an operator from the run
+queue in the scheduler's order, run its messages for a quantum, requeue,
+and between quanta drain the pipes, retransmit expired channels, flush
+the outboxes (one binary ``DATA`` frame per destination — the amortized
+batch) and heartbeat the coordinator.  Every idle wait is capped by
+``EngineConfig.mp_poll_interval``.
 
-Execution cost realization: the sampled cost-model duration occupies the
-worker in *wall-clock* time (``mp_cost_mode="sleep"``), so the cluster's
-aggregate capacity scales with the worker count even when the host has
-fewer cores — sleeps overlap across processes where CPU spin cannot.
-``"none"`` skips realization to measure pure runtime overhead.
+Execution cost realization (``mp_cost_mode``): ``"sleep"`` occupies the
+worker in wall-clock time (sleeps overlap across processes, so capacity
+scales with worker count even on few cores); ``"spin"`` burns the cost as
+CPU work — a *fixed iteration count* of ``cost * spin_rate``, where
+``spin_rate`` (iterations/second) is measured once at startup by
+:func:`calibrate_spin_rate` while the coordinator holds **all** workers
+in the calibration barrier, so the rate reflects deployment-level CPU
+contention; ``"none"`` skips realization (pure overhead measurement).
 
 Determinism: every worker derives its RNG substreams from the run seed by
 name (``mp/exec-cost/<node>``, ``mp/loss/<node>``) through the same
 order-independent registry the sim backend uses, so cost samples and loss
 decisions are reproducible per node regardless of message interleaving.
+Spin calibration measures the host, not the seed — the *work amount* per
+message stays seed-stable, only its wall-clock duration is host-relative.
 """
 
 from __future__ import annotations
 
+import pickle
 import time
 from dataclasses import replace
 from multiprocessing.connection import wait as conn_wait
 
 from repro.core.policies import make_policy
 from repro.core.profiler import CostProfiler, GaussianNoiseInjector
+from repro.core.shedding import DeadlineShedder
 from repro.metrics.collectors import MetricsHub
 from repro.runtime.mp.frames import (
+    CAL_DONE,
+    CALIBRATE,
     DATA,
+    DATA_MAGIC,
     HB,
     INGEST,
     READY,
@@ -39,15 +51,52 @@ from repro.runtime.mp.frames import (
     REWIRE,
     START,
     STOP,
+    DataCodec,
     recv_frame,
     send_frame,
 )
+from repro.runtime.mp.ingest import IngestDriver
 from repro.runtime.mp.reliable import MpReliableDelivery
 from repro.runtime.mp.transport import ProcessTransport
 from repro.runtime.node import make_run_queue
 from repro.runtime.topology import TopologyBuilder
 from repro.sim.network import ChannelTable, ConstantDelay
 from repro.sim.rng import RngRegistry
+
+#: calibration spins in chunks of this many iterations between clock reads
+_CAL_CHUNK = 50_000
+
+
+def spin(iterations: int) -> int:
+    """Burn ``iterations`` of pure-Python CPU work (the spin kernel).
+
+    Deliberately allocation-free and branch-light so its per-iteration
+    cost is stable between the calibration loop and the hot path."""
+    acc = 0
+    while iterations > 0:
+        acc += iterations & 7
+        iterations -= 1
+    return acc
+
+
+def calibrate_spin_rate(measure: float = 0.6) -> float:
+    """Measure this process's spin throughput in iterations/second.
+
+    The rate is whatever the host grants *right now* — the coordinator
+    barriers every worker into calibrating concurrently, so on an
+    oversubscribed host each worker measures its contended share and the
+    fixed per-message iteration counts stay proportional to the sampled
+    costs under deployment-level contention; on a host with a core per
+    worker, calibration is uncontended and spin is honestly CPU-bound."""
+    spin(_CAL_CHUNK)  # warm the loop before timing
+    start = time.monotonic()
+    iterations = 0
+    while True:
+        spin(_CAL_CHUNK)
+        iterations += _CAL_CHUNK
+        elapsed = time.monotonic() - start
+        if elapsed >= measure:
+            return iterations / elapsed
 
 
 class _BuilderNode:
@@ -64,7 +113,7 @@ class MpWorker:
     """One node of the cluster, running in its own process."""
 
     def __init__(self, node_id: int, config, jobs: list, policy=None,
-                 coord_conn=None, peer_conns=None):
+                 coord_conn=None, peer_conns=None, shard=None):
         self._node_id = node_id
         self._config = config
         self._coord = coord_conn
@@ -116,10 +165,23 @@ class MpWorker:
             node_id, self._plan, jobs_by_name, config, self.metrics,
             self._profiler, self._reliable, self._run_queue, self._now,
         )
-        self.transport.attach_conns(self._peers)
-        self._sleep_cost = config.mp_cost_mode == "sleep"
+        self._codecs = {peer: DataCodec() for peer in self._peers}
+        self._codec_by_conn = {
+            conn: self._codecs[peer] for peer, conn in self._peers.items()
+        }
+        self.transport.attach_conns(self._peers, self._codecs)
+        self._cost_mode = config.mp_cost_mode
+        self._sleep_cost = self._cost_mode == "sleep"
+        self.spin_rate = 0.0
+        self._shedder = (
+            DeadlineShedder(config.shed_slack) if config.shed_expired else None
+        )
+        self._ingest = (
+            None if shard is None else IngestDriver(shard, config.mp_realtime)
+        )
         self._contexts = config.contexts_enabled
         self._quantum = config.quantum
+        self._poll = config.mp_poll_interval
         self._capacity = config.source_mailbox_capacity
         self._record_completions = config.record_completion_timeline
 
@@ -132,15 +194,26 @@ class MpWorker:
 
     def run(self) -> None:
         send_frame(self._coord, READY, self._node_id)
-        kind, payload = recv_frame(self._coord)
-        assert kind == START, f"expected START, got {kind}"
-        self._epoch = payload
+        while True:
+            kind, payload = recv_frame(self._coord)
+            if kind == CALIBRATE:
+                # every worker calibrates inside this barrier concurrently
+                self.spin_rate = calibrate_spin_rate()
+                send_frame(self._coord, CAL_DONE, (self._node_id, self.spin_rate))
+            elif kind == START:
+                self._epoch = payload
+                break
+            else:  # pragma: no cover - protocol guard
+                raise RuntimeError(f"expected CALIBRATE/START, got {kind}")
         interval = self._config.heartbeat_interval
         last_hb = self._now()
+        ingest = self._ingest
         conns = [self._coord] + list(self._peers.values())
         while True:
             self._drain(conns)
             now = self._now()
+            if ingest is not None:
+                ingest.pump(now, self.transport.on_ingest)
             replays = self._reliable.due_retransmits(now)
             if replays:
                 self.transport.enqueue_retransmits(replays)
@@ -157,8 +230,12 @@ class MpWorker:
                 deadline = self._reliable.next_deadline()
                 if deadline is not None:
                     timeout = min(timeout, deadline - now)
+                if ingest is not None:
+                    due = ingest.next_due()
+                    if due is not None:
+                        timeout = min(timeout, due - now)
                 if timeout > 0:
-                    conn_wait(conns, timeout=min(timeout, 0.02))
+                    conn_wait(conns, timeout=min(timeout, self._poll))
         self._report()
 
     def _drain(self, conns, limit: int = 256) -> None:
@@ -171,11 +248,17 @@ class MpWorker:
                 try:
                     if not conn.poll():
                         continue
-                    kind, payload = recv_frame(conn)
+                    raw = conn.recv_bytes()
                 except (EOFError, OSError):
                     continue
                 progress = True
                 handled += 1
+                if raw[:1] == DATA_MAGIC:
+                    self.transport.on_entries(
+                        self._codec_by_conn[conn].decode_data(raw)
+                    )
+                    continue
+                kind, payload = pickle.loads(raw)
                 if kind == DATA:
                     self.transport.on_entries(payload)
                 elif kind == INGEST:
@@ -197,6 +280,7 @@ class MpWorker:
             self._run_queue.pending_operator_count() == 0
             and self._reliable.idle()
             and not self.transport.pending_output()
+            and (self._ingest is None or self._ingest.exhausted)
         )
 
     def _heartbeat(self, now: float) -> None:
@@ -213,6 +297,7 @@ class MpWorker:
         stats = {
             "busy_time": self._busy_time,
             "messages": self._messages,
+            "spin_rate": self.spin_rate,
             "fifo_violations": (
                 self.transport.fifo_violations + self._reliable.fifo_violations
             ),
@@ -237,6 +322,7 @@ class MpWorker:
         op_rt.busy = True
         start = self._now()
         mailbox = op_rt.mailbox
+        shedder = self._shedder
         worked = False
         while True:
             msg = mailbox.pop()
@@ -246,6 +332,25 @@ class MpWorker:
                     released = op_rt.blocked.popleft()
                     released.enqueue_time = self._now()
                     mailbox.push(released)
+            if shedder is not None:
+                pc = msg.pc
+                if pc is not None and shedder.should_shed(pc, self._now()):
+                    # deadline-aware load shedding, mirrored from the sim
+                    # dispatch loop: the start deadline is unmeetable, so
+                    # executing would only delay messages that can still
+                    # make it; shed work still acks (at-least-once intact)
+                    job_metrics = op_rt.job_metrics
+                    job_metrics.messages_shed += 1
+                    job_metrics.tuples_shed += msg.tuple_count
+                    if op_rt.is_source:
+                        self.transport.note_source_processed(op_rt, msg)
+                    elif msg.seq != -1:
+                        self._reliable.on_processed(msg)
+                    worked = True
+                    if len(mailbox) == 0:
+                        op_rt.busy = False
+                        return worked
+                    continue
             self._execute(op_rt, msg)
             worked = True
             if len(mailbox) == 0:
@@ -280,8 +385,11 @@ class MpWorker:
             exec_stat = job_metrics.execution_stat(stage_name)
             op_rt.exec_stat = exec_stat
         exec_stat.add(cost)
-        if self._sleep_cost and cost > 0:
-            time.sleep(cost)
+        if cost > 0:
+            if self._sleep_cost:
+                time.sleep(cost)
+            elif self.spin_rate > 0.0:  # "spin" after calibration
+                spin(int(cost * self.spin_rate))
         self._busy_time += cost
         now = self._now()
         self._messages += 1
@@ -313,8 +421,20 @@ class MpWorker:
 
 
 def worker_main(node_id: int, config, jobs: list, policy,
-                coord_conn, peer_conns: dict) -> None:
-    """Process entry point (fork start method: objects are inherited)."""
+                coord_conn, peer_conns: dict, shard=None,
+                unused_conns: list | None = None) -> None:
+    """Process entry point (fork start method: objects are inherited).
+
+    ``unused_conns`` are the pipe ends this worker inherited through fork
+    but does not own (other workers' coordinator and mesh ends).  Closing
+    them first is load-bearing for fail-over: as long as *any* process
+    keeps a duplicate of a dead peer's receiving end open, writes to that
+    peer never raise ``BrokenPipeError`` — they silently fill the socket
+    buffer and then block the sender forever, deadlocking the cluster
+    instead of surfacing the failure."""
+    for conn in unused_conns or ():
+        conn.close()
     worker = MpWorker(node_id, config, jobs, policy=policy,
-                      coord_conn=coord_conn, peer_conns=peer_conns)
+                      coord_conn=coord_conn, peer_conns=peer_conns,
+                      shard=shard)
     worker.run()

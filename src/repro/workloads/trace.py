@@ -164,6 +164,34 @@ class ArrivalTrace:
         """Arrival instants of one source (ascending)."""
         return self.times[self.sources == source]
 
+    def shard(self, owner_by_source: np.ndarray, shard_count: int) -> list["ArrivalTrace"]:
+        """Split into per-owner subtraces (shardable trace iteration).
+
+        ``owner_by_source[i]`` names the shard owning source ``i`` — the
+        same owner function the mp backend's worker-ingest mode uses to
+        split its captured trace (placement of the source's first
+        operator).  Each subtrace preserves global time order and
+        per-source arrival order, and the shards partition the arrivals
+        exactly: replaying all shards merged by time reproduces the
+        original trace.  Vectorized: one mask pass per shard."""
+        owner_by_source = np.asarray(owner_by_source, dtype=np.int64)
+        if len(owner_by_source) != self.source_count:
+            raise ValueError("need one owner per source")
+        if owner_by_source.size and not (
+            0 <= owner_by_source.min() and owner_by_source.max() < shard_count
+        ):
+            raise ValueError("owners must be within [0, shard_count)")
+        owner_by_arrival = owner_by_source[self.sources]
+        return [
+            ArrivalTrace(
+                times=self.times[owner_by_arrival == shard],
+                sources=self.sources[owner_by_arrival == shard],
+                source_count=self.source_count,
+                duration=self.duration,
+            )
+            for shard in range(shard_count)
+        ]
+
     def digest(self) -> str:
         """Stable content hash — regression tests pin this."""
         sha = hashlib.sha256()

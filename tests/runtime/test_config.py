@@ -22,10 +22,23 @@ class TestValidation:
         ("profile_noise_sigma", -0.1),
         ("switch_cost", -0.1),
         ("starvation_aging", -0.1),
+        ("backend", "threads"),
+        ("mp_cost_mode", "burn"),
+        ("mp_ingest_mode", "client"),
+        ("mp_poll_interval", 0.0),
+        ("mp_poll_interval", -0.01),
+        ("mp_loss_rate", 1.0),
+        ("mp_wall_timeout", 0.0),
     ])
     def test_invalid_values_rejected(self, field, value):
         with pytest.raises(ValueError):
             EngineConfig(**{field: value})
+
+    def test_mp_knob_defaults(self):
+        config = EngineConfig()
+        assert config.mp_cost_mode == "sleep"
+        assert config.mp_ingest_mode == "worker"
+        assert config.mp_poll_interval > 0
 
 
 class TestContextsEnabled:

@@ -64,20 +64,49 @@ class TestBackendSelector:
             MpStreamEngine(config, _small_mix().build_jobs())
 
 
+_SIM_CACHE: dict = {}
+
+
+def _sim_aggregates(scheduler: str) -> dict:
+    """Sim-backend reference aggregates, computed once per scheduler."""
+    if scheduler not in _SIM_CACHE:
+        engine = run_tenant_mix(
+            scheduler, _small_mix(), duration=2.0, drain=1.0, nodes=1, seed=3
+        )
+        _SIM_CACHE[scheduler] = _aggregates(engine)
+    return _SIM_CACHE[scheduler]
+
+
 class TestSimParity:
+    """1-worker parity matrix: every (cost mode, ingest mode) combination
+    must reproduce the sim backend's completion aggregates exactly — how a
+    sampled cost is realized in wall time (sleep vs calibrated spin) and
+    who replays the trace (per-worker shard vs coordinator INGEST frames)
+    may change wall-clock timing, never the logical outcome."""
+
     @pytest.mark.parametrize("scheduler", ("cameo", "orleans", "fifo"))
-    def test_one_worker_matches_sim_aggregates(self, scheduler):
-        mix = _small_mix()
-        sim = run_tenant_mix(
-            scheduler, mix, duration=2.0, drain=1.0, nodes=1, seed=3
-        )
+    @pytest.mark.parametrize("cost_mode,ingest_mode", [
+        ("sleep", "worker"),
+        ("sleep", "coordinator"),
+        ("spin", "worker"),
+        ("spin", "coordinator"),
+    ])
+    def test_one_worker_matches_sim_aggregates(
+        self, scheduler, cost_mode, ingest_mode
+    ):
         mp = run_tenant_mix(
-            scheduler, mix, duration=2.0, drain=1.0, nodes=1, seed=3,
-            config_overrides={"backend": "mp"},
+            scheduler, _small_mix(), duration=2.0, drain=1.0, nodes=1, seed=3,
+            config_overrides={
+                "backend": "mp",
+                "mp_cost_mode": cost_mode,
+                "mp_ingest_mode": ingest_mode,
+            },
         )
-        assert _aggregates(mp) == _aggregates(sim)
+        assert _aggregates(mp) == _sim_aggregates(scheduler)
         assert mp.info["fifo_violations"] == 0
         assert not mp.info["forced_stop"]
+        assert mp.info["cost_mode"] == cost_mode
+        assert mp.info["ingest_mode"] == ingest_mode
         # real execution produced real latencies
         for name in mp.metrics.job_names:
             assert all(lat > 0 for lat in mp.metrics.job(name).latencies)
@@ -131,6 +160,58 @@ class TestFailOver:
         for name in engine.metrics.job_names:
             job = engine.metrics.job(name)
             assert job.tuples_processed >= 0.99 * job.tuples_ingested
+
+    def test_flooded_failover_replays_sharded_ledger(self):
+        """Coordinator fail-over during flooded replay with a sharded ledger.
+
+        With ``mp_realtime=False`` each worker floods its fork-inherited
+        trace shard as fast as it can absorb it, so when node 1 dies a
+        large swath of its shard is already in flight — admitted but not
+        yet covered by a heartbeat watermark.  The coordinator (which in
+        worker-ingest mode holds the full ledger purely for this moment)
+        must splice every moved source's un-acked ledger remainder into
+        the feed queue and stream it to the survivor.  Delivery is
+        at-least-once: entries the dead worker admitted but never
+        reported may execute twice on the survivor, so the assertions
+        below are lower bounds — nothing may be lost, and per-channel
+        FIFO order must survive the rewire.
+        """
+        mix = _small_mix()
+        config = EngineConfig(
+            scheduler="cameo", nodes=2, workers_per_node=1, seed=3,
+            backend="mp", mp_realtime=False,
+        )
+        jobs = mix.build_jobs()
+        engine = make_engine(config, jobs)
+        # a 20 s trace floods in ~1.2 s of wall time, so a kill at 0.5 s
+        # lands reliably mid-replay with a deep un-acked ledger suffix
+        mix.install_drivers(engine, jobs, 20.0)
+        engine.kill_at(1, 0.5)
+        engine.run(until=25.0)
+
+        assert engine.metrics.crashes == 1
+        assert len(engine.metrics.failure_detections) == 1
+        node_id, crash_time, detect_time = engine.metrics.failure_detections[0]
+        assert node_id == 1
+        assert detect_time > crash_time
+        assert engine.info["survivors"] == [0]
+        assert engine.info["ingest_mode"] == "worker"
+        assert not engine.info["forced_stop"]
+        assert engine.info["fifo_violations"] == 0
+        # the survivor kept executing replayed ingest after the rewire
+        outputs_after = [
+            t
+            for name in engine.metrics.job_names
+            for t in engine.metrics.job(name).output_times
+            if t > detect_time
+        ]
+        assert outputs_after
+        # at-least-once lower bound: everything the survivor ingested
+        # (original shard + spliced replays) was processed
+        for name in engine.metrics.job_names:
+            job = engine.metrics.job(name)
+            assert job.tuples_processed >= 0.99 * job.tuples_ingested
+            assert job.tuples_processed > 0
 
 
 class TestTraceCapture:

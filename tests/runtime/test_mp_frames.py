@@ -19,10 +19,14 @@ from repro.dataflow.events import EventBatch
 from repro.dataflow.messages import Message
 from repro.dataflow.operators import OpAddress
 from repro.metrics.collectors import MetricsHub
+from repro.core.context import ReplyContext
+from repro.dataflow.messages import MessageKind
 from repro.runtime.mp.frames import (
     DATA,
+    DATA_MAGIC,
     INGEST,
     START,
+    DataCodec,
     recv_frame,
     send_frame,
 )
@@ -98,6 +102,94 @@ class TestFrames:
         finally:
             parent.close()
             child.close()
+
+
+class TestDataCodec:
+    """The struct-packed binary encoding of the DATA fast path.
+
+    One sender-side codec per destination, one receiver-side codec per
+    source: the sender assigns interning ids and ships pickled DEF
+    records inline before first use, so a FIFO pipe guarantees the
+    receiver always has the definition by the time an id references it.
+    """
+
+    def _entries(self):
+        msg = _message(
+            sender=OpAddress("j", "src", 0), target=OpAddress("j", "agg", 1),
+            seq=7,
+        )
+        key = (OpAddress("j", "src", 0), OpAddress("j", "agg", 1))
+        return [
+            ("msg", msg),
+            ("ack", key, 4, 2),
+            ("reply", OpAddress("j", "src", 0), "agg",
+             ReplyContext(c_m=0.25, c_path=0.5, queueing_delay=0.125,
+                          mailbox_size=3)),
+            ("reset", key, 9),
+        ]
+
+    def test_magic_byte_distinguishes_binary_from_pickle(self):
+        buf = DataCodec().encode_data(self._entries())
+        assert buf[:1] == DATA_MAGIC
+        # pickle streams start with the protocol opcode 0x80 — the
+        # receiver's one-byte sniff can never confuse the two
+        assert DATA_MAGIC != b"\x80"
+
+    def test_full_round_trip(self):
+        sender, receiver = DataCodec(), DataCodec()
+        entries = self._entries()
+        got = receiver.decode_data(sender.encode_data(entries))
+        assert [e[0] for e in got] == ["msg", "ack", "reply", "reset"]
+
+        original = entries[0][1]
+        msg = got[0][1]
+        assert msg.target == original.target
+        assert msg.sender == original.sender
+        assert (msg.seq, msg.channel_index, msg.msg_id) == (7, 0, original.msg_id)
+        assert (msg.p, msg.t, msg.deps_arrival) == (3.0, 0.5, 0.5)
+        assert msg.kind is MessageKind.DATA
+        assert msg.rc is None and msg.retries == 0
+        assert msg.pc.pri_local == 1.0 and msg.pc.pri_global == 2.0
+        np.testing.assert_array_equal(
+            msg.batch.logical_times, original.batch.logical_times
+        )
+        np.testing.assert_array_equal(msg.batch.values, original.batch.values)
+        np.testing.assert_array_equal(msg.batch.keys, original.batch.keys)
+        assert msg.batch.times_sorted and msg.batch.arrival_time == 0.5
+
+        assert got[1] == entries[1]
+        _, sender_addr, stage, rc = got[2]
+        assert (sender_addr, stage) == (entries[2][1], "agg")
+        assert (rc.c_m, rc.c_path, rc.queueing_delay, rc.mailbox_size) == (
+            0.25, 0.5, 0.125, 3
+        )
+        assert got[3] == entries[3]
+
+    def test_interning_amortises_definitions(self):
+        sender, receiver = DataCodec(), DataCodec()
+        first = sender.encode_data(self._entries())
+        second = sender.encode_data(self._entries())
+        # the second frame reuses ids: no pickled DEF records at all
+        assert len(second) < len(first)
+        a = receiver.decode_data(first)
+        b = receiver.decode_data(second)
+        assert a[0][1].target == b[0][1].target
+        assert a[1] == b[1]
+
+    def test_slow_path_falls_back_to_pickle(self):
+        sender, receiver = DataCodec(), DataCodec()
+        rc_msg = _message(seq=3)
+        rc_msg.rc = ReplyContext(c_m=1.0)  # piggybacked rc: not fast-path
+        got = receiver.decode_data(sender.encode_data([("msg", rc_msg)]))
+        assert got[0][1].rc.c_m == 1.0
+        assert got[0][1].seq == 3
+        # Unknown tags take the RAW pickle path and round-trip verbatim.
+        exotic = ("weird", {"payload": 1})
+        assert receiver.decode_data(sender.encode_data([exotic])) == [exotic]
+
+    def test_decode_rejects_foreign_buffers(self):
+        with pytest.raises(ValueError, match="binary DATA"):
+            DataCodec().decode_data(b"\x80\x05junk")
 
 
 class _FakeClock:

@@ -188,3 +188,45 @@ class TestArrivalPrecompute:
         with pytest.raises(ValueError):
             precompute_poisson_arrivals(
                 np.array([[1.0]]), 5.0, np.random.default_rng(0))
+
+
+class TestArrivalTraceShard:
+    def _trace(self):
+        from repro.workloads.trace import precompute_poisson_arrivals
+
+        rates = np.full(6, 5.0)
+        return precompute_poisson_arrivals(rates, 4.0, np.random.default_rng(11))
+
+    def test_shards_partition_arrivals_exactly(self):
+        trace = self._trace()
+        owners = np.array([0, 1, 2, 0, 1, 2])
+        shards = trace.shard(owners, 3)
+        assert len(shards) == 3
+        assert sum(s.count for s in shards) == trace.count
+        # merging the shards by time reproduces the original trace
+        merged_times = np.concatenate([s.times for s in shards])
+        merged_sources = np.concatenate([s.sources for s in shards])
+        order = np.argsort(merged_times, kind="stable")
+        assert np.array_equal(merged_times[order], trace.times)
+        # per-source arrival order survives sharding
+        for shard, owner in zip(shards, range(3)):
+            assert (np.diff(shard.times) >= 0).all()
+            assert set(np.unique(shard.sources)) <= {
+                s for s in range(6) if owners[s] == owner
+            }
+        assert set(np.unique(merged_sources)) == set(np.unique(trace.sources))
+
+    def test_empty_shard_allowed(self):
+        trace = self._trace()
+        shards = trace.shard(np.zeros(6, dtype=np.int64), 2)
+        assert shards[0].count == trace.count
+        assert shards[1].count == 0
+        assert shards[1].source_count == trace.source_count
+        assert shards[1].duration == trace.duration
+
+    def test_owner_validation(self):
+        trace = self._trace()
+        with pytest.raises(ValueError, match="one owner per source"):
+            trace.shard(np.array([0, 1]), 2)
+        with pytest.raises(ValueError, match="within"):
+            trace.shard(np.array([0, 1, 2, 0, 1, 5]), 3)
