@@ -456,6 +456,58 @@ def bench_message_alloc(n: int = 200_000, repeats: int = 3) -> dict:
     }
 
 
+def bench_state_store(windows: int = 16, keys: int = 2048, repeats: int = 5) -> dict:
+    """Snapshot / restore / split+merge cost of a windowed-operator store.
+
+    Builds one :class:`~repro.state.store.AggregateStateStore` shaped like
+    a loaded aggregation instance (``windows`` pending windows x ``keys``
+    accumulators each) and times the three state-layer primitives the
+    runtime pays for: a checkpoint sweep serializes (``snapshot``), a
+    fail-over deserializes (``restore``), and a stage rescale partitions
+    and folds back (``split`` + ``merge``).  Costs are reported per key —
+    the store's unit of migration."""
+    from repro.state.store import AggregateStateStore, _Accumulator, _WindowState
+
+    store = AggregateStateStore()
+    for w in range(windows):
+        state = _WindowState()
+        for k in range(keys):
+            acc = _Accumulator()
+            acc.add(float(k) * 0.5)
+            acc.add(float(k) - 7.0)
+            state.accumulators[k] = acc
+            state.tuple_count += 2
+        state.max_arrival = float(w + 1)
+        store.windows[float(w + 1)] = state
+
+    data = store.snapshot()
+    snapshot_seconds = _best_of(lambda: store.snapshot(), repeats)
+    fresh = AggregateStateStore()
+    restore_seconds = _best_of(lambda: fresh.restore(data), repeats)
+
+    def split_merge() -> None:
+        shard = store.split(lambda key: key % 2 == 1)
+        store.merge(shard)
+
+    split_merge_seconds = _best_of(split_merge, repeats)
+    total_keys = windows * keys
+    seconds = snapshot_seconds + restore_seconds + split_merge_seconds
+    return {
+        "kind": "micro",
+        "unit": "ns/key",
+        "seconds": seconds,
+        "ops": total_keys,
+        "windows": windows,
+        "keys_per_window": keys,
+        "snapshot_bytes": len(data),
+        "approx_size": store.approx_size(),
+        "snapshot_ns_per_key": snapshot_seconds / total_keys * 1e9,
+        "restore_ns_per_key": restore_seconds / total_keys * 1e9,
+        "split_merge_ns_per_key": split_merge_seconds / total_keys * 1e9,
+        "ns_per_op": seconds / total_keys * 1e9,
+    }
+
+
 def bench_mp_scaling_spin(
     duration: float = 6.0, seed: int = 4, worker_counts=(1, 2, 4),
     repeats: int = 3,
@@ -491,6 +543,7 @@ BENCHES: dict = {
     "scheduler_fanin": (bench_scheduler_fanin, {"n": 10_000, "repeats": 2}),
     "scheduler_churn": (bench_scheduler_churn, {"n": 10_000, "repeats": 2}),
     "message_alloc": (bench_message_alloc, {"n": 20_000, "repeats": 2}),
+    "state_store": (bench_state_store, {"windows": 4, "keys": 256, "repeats": 2}),
 }
 
 #: which execution backend each bench exercises (default: "sim");

@@ -11,6 +11,8 @@ Usage::
     python -m repro.cli topology --ls 2 --ba 1 --nodes 2
     python -m repro.cli faults --scheduler cameo --shed
     python -m repro.cli trace ext_faults --attribution --out traces/
+    python -m repro.cli state --ls 2 --ba 1
+    python -m repro.cli checkpoint --interval 0.5
 
 Each figure runs with its benchmark defaults and prints the same table the
 corresponding ``benchmarks/test_figNN_*.py`` archives.  ``bench`` runs the
@@ -22,7 +24,11 @@ a mix through the canonical crash+loss schedule (see
 ``trace`` runs a scenario with the observability plane enabled and emits
 a Perfetto-loadable Chrome-trace JSON, a flat JSONL event log, and (with
 ``--attribution``) the deadline-miss slack-thief tables (see
-:mod:`repro.obs` and ``docs/observability.md``).
+:mod:`repro.obs` and ``docs/observability.md``).  ``state`` drives a
+healthy mix and dumps every operator's keyed-state footprint (windows,
+keys, approximate bytes) from the state layer.  ``checkpoint`` drives the
+canonical crash schedule with checkpointed state recovery on and dumps
+the checkpoint inventory plus the recovery counters.
 """
 
 from __future__ import annotations
@@ -58,6 +64,7 @@ RUNNERS = {
     "ext_elasticity": experiments.run_ext_elasticity,
     "ext_migration": experiments.run_ext_migration,
     "ext_faults": experiments.run_ext_faults,
+    "ext_checkpoint": experiments.run_ext_checkpoint,
 }
 
 
@@ -178,6 +185,164 @@ def faults_main(argv: list[str]) -> int:
     return 0
 
 
+def state_main(argv: list[str]) -> int:
+    """Drive a healthy tenant mix briefly and dump every operator's
+    keyed-state footprint (the ``repro state`` subcommand)."""
+    from repro.runtime.config import EngineConfig
+    from repro.runtime.engine import StreamEngine
+    from repro.runtime.topology import _format_address
+    from repro.workloads.arrivals import (
+        FixedBatchSize,
+        PeriodicArrivals,
+        drive_all_sources,
+    )
+    from repro.workloads.tenants import (
+        make_bulk_analytics_job,
+        make_latency_sensitive_job,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli state",
+        description="Dump per-operator keyed-state footprints (windows, "
+                    "keys, approximate bytes) after a short driven run.",
+    )
+    parser.add_argument("--ls", type=int, default=2,
+                        help="latency-sensitive job count (default 2)")
+    parser.add_argument("--ba", type=int, default=1,
+                        help="bulk-analytics job count (default 1)")
+    parser.add_argument("--nodes", type=int, default=2)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="workers per node (default 2)")
+    parser.add_argument("--scheduler", default="cameo",
+                        choices=["cameo", "fifo", "orleans"])
+    parser.add_argument("--duration", type=float, default=6.0,
+                        help="driven seconds (default 6; no drain, so open "
+                             "windows stay visible)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="also write the JSON dump to FILE")
+    args = parser.parse_args(argv)
+
+    jobs = [make_latency_sensitive_job(f"ls{i}") for i in range(args.ls)]
+    jobs += [make_bulk_analytics_job(f"ba{i}") for i in range(args.ba)]
+    if not jobs:
+        parser.error("need at least one job (--ls/--ba)")
+    engine = StreamEngine(
+        EngineConfig(scheduler=args.scheduler, nodes=args.nodes,
+                     workers_per_node=args.workers, seed=args.seed),
+        jobs,
+    )
+    for job in jobs:
+        rate = 1.0 if job.group == "LS" else 1 / 3.0
+        drive_all_sources(engine, job, lambda s, i, r=rate: PeriodicArrivals(r),
+                          sizer=FixedBatchSize(1000), until=args.duration)
+    engine.run(until=args.duration)
+    operators = {}
+    totals = {"state_bytes": 0, "pending_windows": 0, "keys": 0}
+    for op_rt in engine.operator_runtimes:
+        store = op_rt.operator.state_store
+        if store is None:
+            continue
+        size = store.approx_size()
+        windows = store.pending_window_count
+        keys = store.key_count()
+        operators[_format_address(op_rt.address)] = {
+            "node": op_rt.node_id,
+            "kind": type(store).__name__,
+            "pending_windows": windows,
+            "keys": keys,
+            "approx_bytes": size,
+            "emitted_through": store.emitted_through,
+            "snapshot_bytes": len(store.snapshot()),
+        }
+        totals["state_bytes"] += size
+        totals["pending_windows"] += windows
+        totals["keys"] += keys
+    report = {"operators": operators, "totals": totals}
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        pathlib.Path(args.out).write_text(text + "\n")
+    return 0
+
+
+def checkpoint_main(argv: list[str]) -> int:
+    """Drive the canonical crash schedule with checkpointed state recovery
+    and dump the checkpoint inventory plus the recovery counters."""
+    from repro.experiments.ext_checkpoint import make_crash_schedule
+    from repro.runtime.config import EngineConfig
+    from repro.runtime.engine import StreamEngine
+    from repro.workloads.arrivals import (
+        FixedBatchSize,
+        PeriodicArrivals,
+        drive_all_sources,
+    )
+    from repro.workloads.tenants import (
+        make_bulk_analytics_job,
+        make_latency_sensitive_job,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli checkpoint",
+        description="Drive a crash schedule with state_recovery=checkpoint "
+                    "and report the checkpoint inventory and recovery "
+                    "counters.",
+    )
+    parser.add_argument("--ls", type=int, default=2,
+                        help="latency-sensitive job count (default 2)")
+    parser.add_argument("--ba", type=int, default=1,
+                        help="bulk-analytics job count (default 1)")
+    parser.add_argument("--nodes", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="workers per node (default 2)")
+    parser.add_argument("--scheduler", default="cameo",
+                        choices=["cameo", "fifo", "orleans"])
+    parser.add_argument("--duration", type=float, default=20.0,
+                        help="driven seconds (default 20; +5s drain)")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="checkpoint cadence in seconds (default 1.0)")
+    parser.add_argument("--mode", default="checkpoint",
+                        choices=["checkpoint", "replay"],
+                        help="state recovery mode (default checkpoint)")
+    parser.add_argument("--seed", type=int, default=4)
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="also write the JSON report to FILE")
+    args = parser.parse_args(argv)
+
+    jobs = [make_latency_sensitive_job(f"ls{i}") for i in range(args.ls)]
+    jobs += [make_bulk_analytics_job(f"ba{i}") for i in range(args.ba)]
+    if not jobs:
+        parser.error("need at least one job (--ls/--ba)")
+    schedule = make_crash_schedule(args.duration)
+    engine = StreamEngine(
+        EngineConfig(scheduler=args.scheduler, nodes=args.nodes,
+                     workers_per_node=args.workers, seed=args.seed,
+                     fault_schedule=schedule, state_recovery=args.mode,
+                     checkpoint_interval=args.interval
+                     if args.mode == "checkpoint" else 0.0),
+        jobs,
+    )
+    for job in jobs:
+        rate = 1.0 if job.group == "LS" else 1 / 3.0
+        drive_all_sources(engine, job, lambda s, i, r=rate: PeriodicArrivals(r),
+                          sizer=FixedBatchSize(1000), until=args.duration)
+    engine.run(until=args.duration + 5.0)
+    report = {
+        "mode": args.mode,
+        "scheduler": args.scheduler,
+        "fault_report": engine.metrics.fault_report(),
+        "checkpoints": engine.checkpoints.describe(),
+        "unacked_peak": engine.reliable.unacked_peak,
+        "unacked_final": engine.reliable.unacked_total(),
+        "timeline": list(engine.fault_timeline.events),
+    }
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        pathlib.Path(args.out).write_text(text + "\n")
+    return 0
+
+
 def trace_main(argv: list[str]) -> int:
     """Run a scenario with tracing on; emit Chrome-trace JSON + JSONL logs
     (see ``docs/observability.md``) and optionally the deadline-miss
@@ -194,9 +359,11 @@ def trace_main(argv: list[str]) -> int:
                     "Chrome-trace JSON plus a flat JSONL event log.",
     )
     parser.add_argument("scenario", nargs="?", default="mix",
-                        choices=["mix", "ext_faults"],
+                        choices=["mix", "ext_faults", "ext_checkpoint"],
                         help="mix = healthy tenant mix; ext_faults = the "
-                             "canonical crash+loss schedule (default: mix)")
+                             "canonical crash+loss schedule; ext_checkpoint "
+                             "= the crash schedule with checkpointed state "
+                             "recovery on (default: mix)")
     parser.add_argument("--ls", type=int, default=2,
                         help="latency-sensitive job count (default 2)")
     parser.add_argument("--ba", type=int, default=1,
@@ -233,6 +400,15 @@ def trace_main(argv: list[str]) -> int:
 
         overrides["fault_schedule"] = make_fault_schedule(args.duration)
         nodes = 3 if nodes is None else nodes
+    elif args.scenario == "ext_checkpoint":
+        from repro.experiments.ext_checkpoint import (
+            CHECKPOINT_INTERVAL,
+            make_crash_schedule,
+        )
+
+        overrides["fault_schedule"] = make_crash_schedule(args.duration)
+        overrides["state_recovery"] = "checkpoint"
+        overrides["checkpoint_interval"] = CHECKPOINT_INTERVAL
     nodes = 2 if nodes is None else nodes
     mix = TenantMix(ls_count=args.ls, ba_count=args.ba)
     engine = run_tenant_mix(
@@ -286,6 +462,10 @@ def main(argv: list[str] | None = None) -> int:
         return topology_main(argv[1:])
     if argv and argv[0] == "faults":
         return faults_main(argv[1:])
+    if argv and argv[0] == "state":
+        return state_main(argv[1:])
+    if argv and argv[0] == "checkpoint":
+        return checkpoint_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
     parser = argparse.ArgumentParser(

@@ -15,6 +15,7 @@ times are the stream progress of the result.
 from __future__ import annotations
 
 import math
+import struct
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -24,6 +25,14 @@ from repro.dataflow.events import EventBatch
 from repro.dataflow.messages import Message
 from repro.dataflow.progress import ProgressTracker
 from repro.dataflow.windows import WindowSpec
+from repro.state.store import (  # noqa: F401  (compat re-exports)
+    AggregateStateStore,
+    JoinStateStore,
+    KeyedStateStore,
+    _Accumulator,
+    _JoinWindowState,
+    _WindowState,
+)
 
 AGGREGATES = ("sum", "count", "mean", "max", "min")
 
@@ -85,11 +94,20 @@ class OpAddress:
         return f"{self.job}/{self.stage}[{self.index}]"
 
 
+#: operator-level snapshot framing: magic + progress channel count
+_OP_SNAPSHOT = struct.Struct("<4sI")
+_OP_MAGIC = b"ROP1"
+_F64 = struct.Struct("<d")
+
+
 class Operator:
     """Base operator.  Subclasses implement :meth:`on_message`."""
 
     #: windowed operators may extend message deadlines (paper §4.2.2)
     is_windowed = False
+    #: windowed operators install a :class:`KeyedStateStore`; regular
+    #: operators keep None (their only durable state is stream progress)
+    state_store: Optional[KeyedStateStore] = None
 
     def __init__(self, address: OpAddress):
         self.address = address
@@ -100,6 +118,43 @@ class Operator:
     def wire_inputs(self, channel_count: int) -> None:
         """Called by the runtime once the input channel count is known."""
         self.progress = ProgressTracker(channel_count) if channel_count > 0 else None
+
+    # -- state snapshot / restore (checkpointing surface) ---------------
+
+    def state_snapshot(self) -> bytes:
+        """Serialize everything a fail-over restore needs: per-channel
+        stream progress plus the state store (when the operator has one).
+        Deterministic: same state produces identical bytes."""
+        progress = self.progress.progress_values() if self.progress is not None else []
+        out = [_OP_SNAPSHOT.pack(_OP_MAGIC, len(progress))]
+        out.extend(_F64.pack(value) for value in progress)
+        if self.state_store is not None:
+            out.append(self.state_store.snapshot())
+        return b"".join(out)
+
+    def state_restore(self, data: Optional[bytes]) -> None:
+        """Restore from :meth:`state_snapshot` bytes (in place).
+
+        ``None`` resets to pristine state — the fail-over path for an
+        operator that crashed before its first checkpoint."""
+        if not data:
+            if self.progress is not None:
+                self.progress.reset()
+            if self.state_store is not None:
+                self.state_store.restore(None)
+            return
+        magic, count = _OP_SNAPSHOT.unpack_from(data, 0)
+        if magic != _OP_MAGIC:
+            raise ValueError(f"bad operator snapshot magic {magic!r}")
+        offset = _OP_SNAPSHOT.size
+        values = [
+            _F64.unpack_from(data, offset + i * _F64.size)[0] for i in range(count)
+        ]
+        offset += count * _F64.size
+        if self.progress is not None:
+            self.progress.restore_values(values)
+        if self.state_store is not None:
+            self.state_store.restore(data[offset:])
 
     def on_message(self, msg: Message, now: float) -> list[Emission]:
         raise NotImplementedError
@@ -180,54 +235,17 @@ class FilterOperator(Operator):
         return [Emission(msg.batch.select(mask), self._safe_progress(msg), msg.t)]
 
 
-class _Accumulator:
-    """Incremental per-key aggregate state for one window."""
-
-    __slots__ = ("sum", "count", "max", "min")
-
-    def __init__(self):
-        self.sum = 0.0
-        self.count = 0
-        self.max = float("-inf")
-        self.min = float("inf")
-
-    def add(self, value: float) -> None:
-        self.sum += value
-        self.count += 1
-        if value > self.max:
-            self.max = value
-        if value < self.min:
-            self.min = value
-
-    def result(self, agg: str) -> float:
-        if agg == "sum":
-            return self.sum
-        if agg == "count":
-            return float(self.count)
-        if agg == "mean":
-            return self.sum / self.count if self.count else 0.0
-        if agg == "max":
-            return self.max
-        if agg == "min":
-            return self.min
-        raise ValueError(f"unknown aggregate {agg!r}")
-
-
-class _WindowState:
-    __slots__ = ("accumulators", "max_arrival", "tuple_count")
-
-    def __init__(self):
-        self.accumulators: dict[int, _Accumulator] = {}
-        self.max_arrival = float("-inf")
-        self.tuple_count = 0
-
-
 class WindowedAggregateOperator(Operator):
     """Windowed aggregation (tumbling or sliding), optionally grouped by key.
 
-    Buffers per-window accumulators; when the frontier (minimum progress
-    across input channels) passes a window end, emits one result batch whose
-    logical time equals the window end — exactly the paper's ``p_MF``.
+    Buffers per-window accumulators in an :class:`AggregateStateStore`;
+    when the frontier (minimum progress across input channels) passes a
+    window end, emits one result batch whose logical time equals the
+    window end — exactly the paper's ``p_MF``.
+
+    ``self._windows`` aliases ``self.state_store.windows`` (one dict,
+    shared by reference): the hot path keeps direct attribute access
+    while the store's split/merge/restore mutate the same dict in place.
     """
 
     is_windowed = True
@@ -239,9 +257,17 @@ class WindowedAggregateOperator(Operator):
         self.window = window
         self.agg = agg
         self.by_key = by_key
-        self._windows: dict[float, _WindowState] = {}
+        self.state_store = AggregateStateStore()
+        self._windows: dict[float, _WindowState] = self.state_store.windows
         self.late_tuples = 0
-        self._emitted_through = float("-inf")
+
+    @property
+    def _emitted_through(self) -> float:
+        return self.state_store.emitted_through
+
+    @_emitted_through.setter
+    def _emitted_through(self, value: float) -> None:
+        self.state_store.emitted_through = value
 
     def on_message(self, msg: Message, now: float) -> list[Emission]:
         self.invocations += 1
@@ -395,17 +421,6 @@ class WindowedAggregateOperator(Operator):
         return len(self._windows)
 
 
-class _JoinWindowState:
-    """Per-key tuple counts for each side (the join emits pair counts)."""
-
-    __slots__ = ("left", "right", "max_arrival")
-
-    def __init__(self):
-        self.left: dict[int, int] = {}
-        self.right: dict[int, int] = {}
-        self.max_arrival = float("-inf")
-
-
 class WindowedJoinOperator(Operator):
     """Windowed equi-join of two input stages.
 
@@ -421,9 +436,17 @@ class WindowedJoinOperator(Operator):
         super().__init__(address)
         self.window = window
         self._channel_sides: list[int] = []
-        self._windows: dict[float, _JoinWindowState] = {}
-        self._emitted_through = float("-inf")
+        self.state_store = JoinStateStore()
+        self._windows: dict[float, _JoinWindowState] = self.state_store.windows
         self.late_tuples = 0
+
+    @property
+    def _emitted_through(self) -> float:
+        return self.state_store.emitted_through
+
+    @_emitted_through.setter
+    def _emitted_through(self, value: float) -> None:
+        self.state_store.emitted_through = value
 
     def set_channel_sides(self, sides: list[int]) -> None:
         """``sides[i]`` is 0 (left) or 1 (right) for input channel ``i``."""

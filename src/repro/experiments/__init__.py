@@ -8,6 +8,7 @@ shape assertions (tests) and EXPERIMENTS.md rely on.
 
 from repro.experiments.common import ExperimentResult, TenantMix, run_tenant_mix
 from repro.experiments.ext_backpressure import run_ext_backpressure
+from repro.experiments.ext_checkpoint import make_crash_schedule, run_ext_checkpoint
 from repro.experiments.ext_elasticity import ReactiveScaler, run_ext_elasticity
 from repro.experiments.ext_faults import make_fault_schedule, run_ext_faults
 from repro.experiments.ext_migration import run_ext_migration
@@ -55,8 +56,10 @@ __all__ = [
     "run_fig15",
     "run_fig16",
     "ReactiveScaler",
+    "make_crash_schedule",
     "make_fault_schedule",
     "run_ext_backpressure",
+    "run_ext_checkpoint",
     "run_ext_elasticity",
     "run_ext_faults",
     "run_ext_migration",

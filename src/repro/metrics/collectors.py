@@ -214,6 +214,13 @@ class MetricsHub:
         self.acks_lost = 0              # delivery-layer acks dropped by loss
         self.crashes = 0                # fail-stop events executed
         self.node_restarts = 0          # nodes brought back up
+        # -- state recovery (stay zero unless state_recovery != "none") ---
+        self.checkpoints_taken = 0      # operator snapshots recorded
+        self.checkpoint_bytes = 0       # Σ serialized snapshot sizes
+        self.state_restores = 0         # operators rebuilt after a crash
+        #: Σ processed messages whose effects were lost to a restore and
+        #: must be replayed (the rollback distance of every restore)
+        self.messages_replayed_recovery = 0
         #: (node_id, crash_time, detection_time) per declared failure
         self.failure_detections: list[tuple[int, float, float]] = []
 
@@ -310,6 +317,10 @@ class MetricsHub:
             "retransmit_backoff_time": self.retransmit_backoff_time,
             "duplicates_dropped": self.duplicates_dropped,
             "acks_lost": self.acks_lost,
+            "checkpoints_taken": self.checkpoints_taken,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "state_restores": self.state_restores,
+            "messages_replayed_recovery": self.messages_replayed_recovery,
             "messages_shed": shed_messages,
             "tuples_shed": shed_tuples,
             "operator_exceptions": sum(

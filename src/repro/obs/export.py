@@ -117,6 +117,12 @@ def chrome_trace(recorder, fault_timeline=None, label: str = "repro") -> dict:
             "tid": 0, "ts": ts,
             "args": {"utilization": sample.quantum_utilization},
         })
+        events.append({
+            "ph": "C", "name": f"node {pid} state", "pid": pid,
+            "tid": 0, "ts": ts,
+            "args": {"state_bytes": sample.state_bytes,
+                     "pending_windows": sample.pending_windows},
+        })
 
     if fault_timeline is not None:
         for time, kind, detail in fault_timeline.events:

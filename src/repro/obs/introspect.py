@@ -30,7 +30,7 @@ _NAN = float("nan")
 class SchedulerSampler:
     """Samples every node's run queue each ``interval`` simulated seconds."""
 
-    def __init__(self, sim, nodes: list, recorder, interval: float):
+    def __init__(self, sim, nodes: list, recorder, interval: float, ops=None):
         if interval <= 0:
             raise ValueError("sample interval must be positive")
         self._sim = sim
@@ -40,6 +40,10 @@ class SchedulerSampler:
         # last-observed cumulative busy time per (node, worker slot), for
         # per-interval utilization deltas
         self._busy_seen: dict[tuple[int, int], float] = {}
+        # operator runtimes, for per-node keyed-state footprint sampling
+        # (read through each op's *live* node_id, so migrations and
+        # rescales attribute state to the node that actually holds it)
+        self._ops = list(ops) if ops is not None else []
 
     def start(self) -> None:
         self._sim.schedule_fast(self._interval, self._tick)
@@ -78,10 +82,21 @@ class SchedulerSampler:
             utilization = min(1.0, busy_delta / (self._interval * active))
         else:
             utilization = 0.0
+        state_bytes = 0
+        pending_windows = 0
+        node_id = node.node_id
+        for op_rt in self._ops:
+            if op_rt.node_id != node_id:
+                continue
+            store = op_rt.operator.state_store
+            if store is not None:
+                state_bytes += store.approx_size()
+                pending_windows += store.pending_window_count
         return SchedSample(
             now, node.node_id, depth, head,
             busy, active, utilization,
             getattr(run_queue, "pushes", 0),
             getattr(run_queue, "pops", 0),
             getattr(run_queue, "notify_skips", 0),
+            state_bytes, pending_windows,
         )

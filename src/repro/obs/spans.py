@@ -121,13 +121,14 @@ class SchedSample:
     __slots__ = (
         "time", "node_id", "depth", "head_priority", "busy_workers",
         "active_workers", "quantum_utilization", "pushes", "pops",
-        "notify_skips",
+        "notify_skips", "state_bytes", "pending_windows",
     )
 
     def __init__(self, time: float, node_id: int, depth: int,
                  head_priority: float, busy_workers: int, active_workers: int,
                  quantum_utilization: float, pushes: int, pops: int,
-                 notify_skips: int):
+                 notify_skips: int, state_bytes: int = 0,
+                 pending_windows: int = 0):
         self.time = time
         self.node_id = node_id
         self.depth = depth
@@ -138,6 +139,10 @@ class SchedSample:
         self.pushes = pushes
         self.pops = pops
         self.notify_skips = notify_skips
+        # keyed-state footprint of the node's operators (approx bytes and
+        # open windows), sampled from the state layer's approx_size()
+        self.state_bytes = state_bytes
+        self.pending_windows = pending_windows
 
     def as_dict(self) -> dict:
         head = self.head_priority
@@ -154,4 +159,6 @@ class SchedSample:
             "pushes": self.pushes,
             "pops": self.pops,
             "notify_skips": self.notify_skips,
+            "state_bytes": self.state_bytes,
+            "pending_windows": self.pending_windows,
         }

@@ -15,6 +15,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (keep sim/ import lazy)
 
 SCHEDULERS = ("cameo", "orleans", "fifo")
 POLICIES = ("llf", "edf", "sjf", "constant", "token")
+STATE_RECOVERY_MODES = ("none", "replay", "checkpoint")
 BACKENDS = ("sim", "mp")
 MP_COST_MODES = ("sleep", "spin", "none")
 MP_INGEST_MODES = ("worker", "coordinator")
@@ -74,6 +75,21 @@ class EngineConfig:
             latency is bounded by ``failure_timeout + heartbeat_interval``).
         retransmit_timeout / retransmit_backoff_cap: initial retransmission
             timer and the cap of its exponential backoff.
+        state_recovery: what happens to operator *state* on a crash
+            (requires a non-empty fault schedule; ``"none"`` otherwise).
+            ``"none"`` keeps the legacy fail-over semantics — evacuated
+            operators carry their in-memory state with them, bit-identical
+            to earlier revisions.  ``"replay"`` models honest state loss:
+            a failed operator restarts pristine and every message since
+            sequence 0 is replayed from the senders' retransmit buffers,
+            which therefore never truncate.  ``"checkpoint"`` snapshots
+            operator state periodically (see ``checkpoint_interval``),
+            restores the last snapshot on fail-over and replays only
+            messages after it; retransmit buffers truncate at the
+            checkpoint watermark instead of growing without bound.
+        checkpoint_interval: cadence (seconds of simulated time) of the
+            periodic asynchronous state snapshots when ``state_recovery ==
+            "checkpoint"``; must be positive in that mode.
         record_trace: enable the observability plane (``repro.obs``): a
             per-hop message span recorder plus a periodic scheduler
             sampler.  Off by default — with tracing off the runtime holds
@@ -154,6 +170,8 @@ class EngineConfig:
     failure_timeout: float = 0.2
     retransmit_timeout: float = 0.05
     retransmit_backoff_cap: float = 0.8
+    state_recovery: str = "none"
+    checkpoint_interval: float = 0.0
     record_trace: bool = False
     trace_sample_interval: float = 0.05
     shed_expired: bool = False
@@ -213,6 +231,23 @@ class EngineConfig:
             raise ValueError("retransmit timeout must be positive")
         if self.retransmit_backoff_cap < self.retransmit_timeout:
             raise ValueError("retransmit backoff cap must be >= the timeout")
+        if self.state_recovery not in STATE_RECOVERY_MODES:
+            raise ValueError(
+                f"unknown state recovery mode {self.state_recovery!r}; "
+                f"expected {STATE_RECOVERY_MODES}"
+            )
+        if self.state_recovery != "none":
+            if self.fault_schedule is None or not self.fault_schedule.enabled:
+                raise ValueError(
+                    "state recovery requires a non-empty fault schedule "
+                    "(fault-free runs install no recovery machinery)"
+                )
+            if self.state_recovery == "checkpoint" and self.checkpoint_interval <= 0:
+                raise ValueError(
+                    "checkpoint mode requires a positive checkpoint interval"
+                )
+        if self.checkpoint_interval < 0:
+            raise ValueError("checkpoint interval must be non-negative")
         if self.trace_sample_interval <= 0:
             raise ValueError("trace sample interval must be positive")
         if self.shed_slack < 0:

@@ -36,7 +36,11 @@ from repro.obs.recorder import TraceRecorder
 from repro.runtime.config import EngineConfig
 from repro.runtime.lifecycle import OperatorLifecycle
 from repro.runtime.node import NodeRuntime, make_run_queue
-from repro.runtime.recovery import RecoveryManager, ReliableDelivery
+from repro.runtime.recovery import (
+    CheckpointManager,
+    RecoveryManager,
+    ReliableDelivery,
+)
 from repro.runtime.topology import (  # noqa: F401  (compat re-exports)
     OperatorRuntime,
     Route,
@@ -172,6 +176,11 @@ class StreamEngine:
         )
         for node in self.nodes:
             node.attach_lifecycle(self.lifecycle)
+        # state recovery: installed only on top of the fault machinery and
+        # only when asked for — ``state_recovery == "none"`` keeps the
+        # legacy crash semantics (state rides the migration path) and the
+        # checkpoint RNG substream untouched, so runs stay bit-identical
+        self.checkpoints: Optional[CheckpointManager] = None
         if self.reliable is not None:
             self.recovery = RecoveryManager(
                 self.sim, self.nodes, self._ops, self.lifecycle,
@@ -179,11 +188,20 @@ class StreamEngine:
                 config.heartbeat_interval, config.failure_timeout,
                 tracer=self.tracer,
             )
+            if config.state_recovery != "none":
+                self.checkpoints = CheckpointManager(
+                    self.sim, self._ops, self.reliable, self.metrics,
+                    self.fault_timeline, self.rng.stream("checkpoints"),
+                    config.checkpoint_interval, config.state_recovery,
+                )
+                self.recovery.attach_checkpoints(self.checkpoints)
+                self.checkpoints.start(self.nodes)
             self.recovery.install(schedule)
         if self.tracer is not None:
             self._sampler = SchedulerSampler(
                 self.sim, self.nodes, self.tracer,
                 config.trace_sample_interval,
+                ops=list(self._ops.values()),
             )
             self._sampler.start()
 

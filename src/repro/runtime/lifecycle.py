@@ -16,6 +16,16 @@ Semantics:
   message, then stops taking work).
 * ``rescale(node, workers)`` sets the active pool size, spawning or
   retiring as needed.
+* ``rescale_stage(job, stage, parallelism)`` changes how many of a
+  key-partitioned stage's built instances are *active*: upstream routes
+  repartition keys modulo the new count, and every instance's
+  :class:`~repro.state.store.KeyedStateStore` is split by the new key
+  partition with the shards merged into the instances that now own those
+  keys — state moves *with* the keys, so a mid-window rescale at a
+  quiescent instant preserves aggregates exactly.  Deactivated instances'
+  output channels are masked in downstream progress trackers (an idle
+  instance never emits progress, so leaving its channel live would stall
+  the downstream frontier forever).
 * ``migrate(op, dst_node)`` moves an operator to another node: its run
   queue entry on the source node is discarded, the mailbox is drained
   into a mailbox of the destination's discipline (preserving pop order),
@@ -39,6 +49,71 @@ from repro.runtime.topology import OperatorRuntime
 from repro.runtime.workers import Worker
 
 
+def apply_stage_rescale(
+    ops: dict, job_name: str, stage_name: str, parallelism: int
+) -> int:
+    """Core of a stage rescale, over any ``address -> OperatorRuntime`` map.
+
+    Shared by the sim :class:`OperatorLifecycle` and the mp backend's
+    in-worker rescale (both backends build their topology with the same
+    :class:`~repro.runtime.topology.TopologyBuilder`, so routes, stores
+    and progress trackers have identical shapes).  Returns the number of
+    keys whose state moved."""
+    instances = sorted(
+        (
+            op_rt
+            for address, op_rt in ops.items()
+            if address.job == job_name and address.stage == stage_name
+        ),
+        key=lambda op_rt: op_rt.address.index,
+    )
+    if not instances:
+        raise ValueError(f"unknown stage {job_name}/{stage_name}")
+    built = len(instances)
+    if not 1 <= parallelism <= built:
+        raise ValueError(
+            f"active count must be in 1..{built} (built parallelism), "
+            f"got {parallelism}"
+        )
+    stage = instances[0].stage
+    if built > 1 and not stage.key_partitioned:
+        raise ValueError(f"stage {job_name}/{stage_name} is not key-partitioned")
+    # 1. flip every upstream route into the stage to the new active count
+    for op_rt in ops.values():
+        for route in op_rt.routes:
+            if route.dst_stage is stage and route.targets[0].job is instances[0].job:
+                route.active = parallelism
+    # 2. move state with the keys: each instance splits out the keys it
+    #    no longer owns and the shard merges into the new owner
+    moved = 0
+    for i, src_rt in enumerate(instances):
+        store = src_rt.operator.state_store
+        if store is None:
+            continue
+        for j in range(parallelism):
+            if j == i:
+                continue
+            shard = store.split(
+                lambda key, _j=j, _p=parallelism: key % _p == _j
+            )
+            moved += shard.key_count()
+            dst_store = instances[j].operator.state_store
+            if dst_store is not None:
+                dst_store.merge(shard)
+    # 3. mask (or restore) deactivated instances' output channels in
+    #    downstream progress trackers so the frontier never stalls on a
+    #    channel that will carry no more progress
+    for i, src_rt in enumerate(instances):
+        active = i < parallelism
+        for route in src_rt.routes:
+            for link in route.links:
+                dst_rt = link[0]
+                progress = dst_rt.operator.progress
+                if progress is not None:
+                    progress.set_channel_active(link[2], active)
+    return moved
+
+
 class OperatorLifecycle:
     """Public reconfiguration API over a running engine."""
 
@@ -51,6 +126,9 @@ class OperatorLifecycle:
         self.completed_migrations = 0
         #: migrations deferred because the operator was busy
         self.deferred_migrations = 0
+        #: completed stage rescales and keys moved by them
+        self.stage_rescales = 0
+        self.keys_moved = 0
 
     # ------------------------------------------------------------------
     # elastic worker pools
@@ -84,8 +162,28 @@ class OperatorLifecycle:
         return node.active_worker_count
 
     # ------------------------------------------------------------------
-    # operator migration
+    # stage rescaling (key-granular state movement)
     # ------------------------------------------------------------------
+
+    def rescale_stage(self, job_name: str, stage_name: str, parallelism: int) -> int:
+        """Set the number of *active* instances of a key-partitioned stage.
+
+        The stage keeps every built instance and channel; only the key
+        partition changes.  Upstream routes flip to ``parallelism`` active
+        targets, then each instance splits out the keys it no longer owns
+        under ``key % parallelism`` and the shards merge into the new
+        owners' stores — accumulator objects move whole, so per-key fold
+        order (and therefore every float) is unchanged.  Instances beyond
+        the active count have their output channels masked in downstream
+        progress trackers; growing back restores them.
+
+        Exact when the stage's input channels are quiescent at the flip
+        instant (no in-flight batches keyed under the old partition);
+        value-conserving regardless.  Returns the number of keys moved."""
+        moved = apply_stage_rescale(self._ops, job_name, stage_name, parallelism)
+        self.stage_rescales += 1
+        self.keys_moved += moved
+        return moved
 
     def migrate(
         self, op: Union[OpAddress, OperatorRuntime], dst_node: int

@@ -59,6 +59,7 @@ from repro.runtime.mp.frames import (
     INGEST,
     READY,
     REPORT,
+    RESCALE,
     REWIRE,
     START,
     STOP,
@@ -139,12 +140,14 @@ class MpCoordinator:
     """Parent-process orchestration of one mp-backend run."""
 
     def __init__(self, config, jobs: list, policy, trace: list,
-                 kills: list | None = None, until: float = 0.0):
+                 kills: list | None = None, rescales: list | None = None,
+                 until: float = 0.0):
         self._config = config
         self._jobs = jobs
         self._policy = policy
         self._trace = trace
         self._kills = sorted(kills or [])
+        self._rescales = sorted(rescales or [])
         self._until = until
         self._n = config.nodes
         #: live placement view (address -> node), updated on fail-over
@@ -303,6 +306,7 @@ class MpCoordinator:
         last_hb = {i: 0.0 for i in alive}
         idle_streak = {i: 0 for i in alive}
         kills = deque(self._kills)
+        rescales = deque(self._rescales)
         crash_time: dict[int, float] = {}
         fault_log: list[tuple[int, float, float]] = []
         crashes = 0
@@ -322,6 +326,14 @@ class MpCoordinator:
                     procs[node_id].kill()
                     crash_time[node_id] = now
                     crashes += 1
+            while rescales and now >= rescales[0][0]:
+                _, job_name, stage_name, parallelism = rescales.popleft()
+                for i in alive:
+                    try:
+                        send_frame(conns[i], RESCALE,
+                                   (job_name, stage_name, parallelism))
+                    except (BrokenPipeError, OSError):
+                        pass
             self._feed(pending, ledger, conns, alive, now, realtime)
             self._drain_control(conns, alive, last_hb, idle_streak,
                                 ledger, acked, elapsed)

@@ -56,6 +56,7 @@ class MpStreamEngine:
         self.info: dict = {}
         self._trace: list[tuple] = []
         self._kills: list[tuple[float, int]] = []
+        self._rescales: list[tuple[float, str, str, int]] = []
         self._ran = False
 
     def ingest(
@@ -86,6 +87,26 @@ class MpStreamEngine:
             raise ValueError(f"node {node_id} out of range")
         self._kills.append((when, node_id))
 
+    def rescale_stage_at(self, when: float, job_name: str, stage_name: str,
+                         parallelism: int) -> None:
+        """Schedule a key-partitioned stage rescale at wall time ``when``.
+
+        The coordinator announces it with a ``RESCALE`` frame; the worker
+        applies it at its next quiescent point for the stage (empty stage
+        mailboxes), splitting/merging every instance's state store by the
+        new key partition — the process-backend analogue of
+        ``OperatorLifecycle.rescale_stage``.  Single-node runs only: with
+        the whole topology in one process, state moves by reference; a
+        cross-process state transfer protocol is future work."""
+        if self.config.nodes != 1:
+            raise ValueError(
+                "stage rescale on the mp backend needs nodes=1 (state "
+                "moves within one process)"
+            )
+        if job_name not in self.jobs:
+            raise KeyError(f"unknown job {job_name!r}")
+        self._rescales.append((when, job_name, stage_name, parallelism))
+
     @property
     def trace_length(self) -> int:
         return len(self._trace)
@@ -98,7 +119,7 @@ class MpStreamEngine:
         self.sim.run(until=until)
         coordinator = MpCoordinator(
             self.config, self._job_list, self._policy, self._trace,
-            kills=self._kills, until=until,
+            kills=self._kills, rescales=self._rescales, until=until,
         )
         self.metrics = coordinator.run()
         self.info = coordinator.info

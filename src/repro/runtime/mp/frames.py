@@ -36,6 +36,9 @@ INGEST     c -> w     list of ``(src_key, seq, trace_time, times, values,
                       mode and fail-over shard replay)
 HB         w -> c     ``(node_id, idle, ingest_acks, processed_total)``
 REWIRE     c -> w     ``({address: new_node_id}, dead_node_id)``
+RESCALE    c -> w     ``(job_name, stage_name, parallelism)`` — rescale a
+                      key-partitioned stage (applied at the worker's next
+                      quiescent point for that stage; single-node runs)
 STOP       c -> w     ``None`` — drain nothing further, report and exit
 REPORT     w -> c     ``(node_id, MetricsHub, worker_stats)``
 =========  =========  ===================================================
@@ -87,6 +90,7 @@ INGEST = "ingest"
 DATA = "data"
 HB = "hb"
 REWIRE = "rewire"
+RESCALE = "rescale"
 STOP = "stop"
 REPORT = "report"
 

@@ -208,6 +208,10 @@ class ProcessTransport:
                         emissions: list[Emission]) -> None:
         for route in src_rt.routes:
             links = route.links
+            if route.active != len(links):
+                # stage rescale: only the leading ``active`` instances
+                # receive data; keys repartition modulo the active count
+                links = links[: route.active]
             if route.key_partitioned and len(links) > 1:
                 parallelism = len(links)
                 for emission in emissions:

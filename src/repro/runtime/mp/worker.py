@@ -48,6 +48,7 @@ from repro.runtime.mp.frames import (
     INGEST,
     READY,
     REPORT,
+    RESCALE,
     REWIRE,
     START,
     STOP,
@@ -55,6 +56,7 @@ from repro.runtime.mp.frames import (
     recv_frame,
     send_frame,
 )
+from repro.runtime.lifecycle import apply_stage_rescale
 from repro.runtime.mp.ingest import IngestDriver
 from repro.runtime.mp.reliable import MpReliableDelivery
 from repro.runtime.mp.transport import ProcessTransport
@@ -184,6 +186,10 @@ class MpWorker:
         self._poll = config.mp_poll_interval
         self._capacity = config.source_mailbox_capacity
         self._record_completions = config.record_completion_timeline
+        #: coordinator-announced stage rescales awaiting a quiescent point
+        self._pending_rescales: list[tuple[str, str, int]] = []
+        self._stage_rescales = 0
+        self._keys_moved = 0
 
     def _now(self) -> float:
         return time.monotonic() - self._epoch
@@ -211,6 +217,8 @@ class MpWorker:
         conns = [self._coord] + list(self._peers.values())
         while True:
             self._drain(conns)
+            if self._pending_rescales:
+                self._apply_pending_rescales()
             now = self._now()
             if ingest is not None:
                 ingest.pump(now, self.transport.on_ingest)
@@ -265,6 +273,8 @@ class MpWorker:
                     self.transport.on_ingest(payload)
                 elif kind == REWIRE:
                     self.transport.rewire(payload[0])
+                elif kind == RESCALE:
+                    self._pending_rescales.append(payload)
                 elif kind == STOP:
                     self._stop = True
 
@@ -280,8 +290,37 @@ class MpWorker:
             self._run_queue.pending_operator_count() == 0
             and self._reliable.idle()
             and not self.transport.pending_output()
+            and not self._pending_rescales
             and (self._ingest is None or self._ingest.exhausted)
         )
+
+    def _apply_pending_rescales(self) -> None:
+        """Apply announced rescales once the target stage is quiescent.
+
+        The flip is exact only when no batch keyed under the old partition
+        is still waiting in a stage instance's mailbox, so each rescale
+        defers until every instance of its stage is drained and idle (the
+        worker is single-threaded, so between quanta nothing is mid-
+        absorb).  Order among distinct pending rescales is preserved."""
+        remaining: list[tuple[str, str, int]] = []
+        blocked: set[tuple[str, str]] = set()
+        for job_name, stage_name, parallelism in self._pending_rescales:
+            key = (job_name, stage_name)
+            instances = [
+                op_rt for address, op_rt in self._ops.items()
+                if address.job == job_name and address.stage == stage_name
+            ]
+            if key in blocked or any(
+                op_rt.busy or len(op_rt.mailbox) > 0 for op_rt in instances
+            ):
+                remaining.append((job_name, stage_name, parallelism))
+                blocked.add(key)
+                continue
+            self._keys_moved += apply_stage_rescale(
+                self._ops, job_name, stage_name, parallelism
+            )
+            self._stage_rescales += 1
+        self._pending_rescales = remaining
 
     def _heartbeat(self, now: float) -> None:
         try:
@@ -302,6 +341,8 @@ class MpWorker:
                 self.transport.fifo_violations + self._reliable.fifo_violations
             ),
             "channel_count": self._reliable.channel_count,
+            "stage_rescales": self._stage_rescales,
+            "keys_moved": self._keys_moved,
         }
         try:
             send_frame(self._coord, REPORT, (self._node_id, self.metrics, stats))

@@ -25,13 +25,26 @@ primitives, and all randomness comes from the injector's named stream):
 
 Fault model honesty: acknowledgements fire on *processing completion*,
 not delivery, so a crash never silently drops a message that had merely
-reached a mailbox.  What we do **not** model is operator *state* loss —
-sender-side retransmit buffers are durable (the classic upstream-backup
-assumption) and windowed aggregation state survives via the migration
-path; checkpointing of operator state is a ROADMAP open item.  Under
-crash recovery, delivery is effectively at-least-once for messages a
-priority mailbox processed out of sequence order (the processed-set
-dedupe removes every other duplicate); without crashes it is exactly-once.
+reached a mailbox.  Operator *state* loss is governed by
+``EngineConfig.state_recovery``: the default ``"none"`` keeps the legacy
+semantics (windowed aggregation state survives via the migration path —
+the classic upstream-backup assumption, bit-identical to earlier
+revisions), ``"replay"`` models honest loss (failed operators restart
+pristine and senders replay from sequence 0, so retransmit buffers never
+truncate), and ``"checkpoint"`` adds the :class:`CheckpointManager`:
+periodic snapshots of every operator's :class:`~repro.state.store.
+KeyedStateStore` plus its per-channel delivery frontier, restore from
+the last snapshot on fail-over, replay only of messages after it, and
+retransmit-buffer truncation at the checkpoint watermark.  A checkpoint
+records the receiver's out-of-order ``processed`` set alongside the
+watermark because the snapshot state already contains those messages'
+effects — rollback restores the set so replay never double-applies them.
+Re-emissions after a restore reuse the original sequence numbers when the
+operator's emission order is replay-deterministic (windowed operators
+emit one message per completed window in window-end order; single-input
+operators replay in channel order), so downstream duplicate-drops give
+exactly-once state recovery; multi-input pass-through operators fall
+back to fresh sequences (at-least-once).
 """
 
 from __future__ import annotations
@@ -52,14 +65,20 @@ class _ChannelState:
     receiver state.
 
     Invariant: ``unacked`` holds exactly the contiguous sequence range
-    ``(processed_w, next_seq)`` — entries are appended at the top and only
-    a prefix is released by cumulative processed-acks.
+    ``(released_w, next_seq)`` — entries are appended at the top and only
+    a prefix is released.  Without state retention ``released_w`` tracks
+    ``processed_w`` (cumulative processed-acks release immediately); with
+    retention (``state_recovery != "none"``) release is additionally
+    capped by ``stable_w``, the highest sequence covered by a checkpoint
+    of the receiver, so processed-but-uncheckpointed messages stay
+    replayable.
     """
 
     __slots__ = (
         "src_rt", "dst_rt", "channel",
         # -- sender side --
         "next_seq", "unacked", "admitted_w", "processed_w",
+        "stable_w", "released_w",
         "rto", "timer_armed", "timer_epoch", "timer_armed_at",
         "backoff_time", "retransmit_count",
         # -- receiver side --
@@ -75,6 +94,8 @@ class _ChannelState:
         self.unacked: dict[int, Message] = {}
         self.admitted_w = -1          # highest seq the sender knows reached a mailbox
         self.processed_w = -1         # highest seq the sender knows was processed
+        self.stable_w = -1            # highest seq covered by a receiver checkpoint
+        self.released_w = -1          # highest seq released from ``unacked``
         self.rto = rto
         self.timer_armed = False
         self.timer_epoch = 0
@@ -119,10 +140,29 @@ class ReliableDelivery:
         self._states: dict[tuple, _ChannelState] = {}
         self._admit: Optional[Callable] = None
         self._tracer = None
+        self._retain = False
+        self._unacked_count = 0
+        #: high-water mark of retransmit-buffer occupancy across the run
+        self.unacked_peak = 0
 
     def attach_tracer(self, tracer) -> None:
         """Install the span recorder (``record_trace`` runs only)."""
         self._tracer = tracer
+
+    def enable_state_retention(self) -> None:
+        """Switch buffer release to checkpoint-stability gating.
+
+        Called once at wiring time when ``state_recovery != "none"``:
+        processed messages stay in retransmit buffers until a checkpoint
+        of the receiver covers them (``mark_stable``), so a restore can
+        always replay the suffix after its checkpoint.  In ``"replay"``
+        mode no checkpoint ever marks anything stable and buffers retain
+        the full history — the honest upstream-backup baseline."""
+        self._retain = True
+
+    def retains_state(self) -> bool:
+        """Whether buffer release is gated on checkpoint stability."""
+        return self._retain
 
     def attach(
         self, admit: Callable[[OperatorRuntime, Message, Optional[object]], None]
@@ -149,7 +189,13 @@ class ReliableDelivery:
         state = self._state(msg.sender, src_rt, dst_rt, channel)
         msg.seq = state.next_seq
         state.next_seq += 1
-        state.unacked[msg.seq] = msg
+        if msg.seq > state.released_w:
+            # (a rolled-back sender may re-emit sequences a receiver
+            # checkpoint already covers — pure duplicates, not retained)
+            state.unacked[msg.seq] = msg
+            self._unacked_count += 1
+            if self._unacked_count > self.unacked_peak:
+                self.unacked_peak = self._unacked_count
         self._transmit(state, msg)
         self._arm_timer(state)
 
@@ -209,9 +255,8 @@ class ReliableDelivery:
         """Sender learns of receiver progress (fires after the ack delay)."""
         progressed = False
         if processed > state.processed_w:
-            for seq in range(state.processed_w + 1, processed + 1):
-                state.unacked.pop(seq, None)
             state.processed_w = processed
+            self._release(state)
             progressed = True
         if admitted > state.admitted_w:
             state.admitted_w = admitted
@@ -222,6 +267,17 @@ class ReliableDelivery:
             state.timer_armed = False
             state.rto = self._rto_initial
             self._arm_timer(state)
+
+    def _release(self, state: _ChannelState) -> None:
+        """Drop the releasable prefix of ``unacked``: processed sequences,
+        additionally capped by checkpoint stability under retention."""
+        bound = state.processed_w
+        if self._retain and state.stable_w < bound:
+            bound = state.stable_w
+        while state.released_w < bound:
+            state.released_w += 1
+            if state.unacked.pop(state.released_w, None) is not None:
+                self._unacked_count -= 1
 
     # ------------------------------------------------------------------
     # receiver side
@@ -311,6 +367,81 @@ class ReliableDelivery:
                 state.rto = self._rto_initial
                 self._arm_timer(state)
 
+    # ------------------------------------------------------------------
+    # checkpoint support (driven by the CheckpointManager)
+    # ------------------------------------------------------------------
+
+    def channels_into(self, op_rt: OperatorRuntime):
+        """Yield ``(sender_key, state)`` for every channel into ``op_rt``."""
+        for (sender, _dst), state in self._states.items():
+            if state.dst_rt is op_rt:
+                yield sender, state
+
+    def channels_from(self, op_rt: OperatorRuntime):
+        """Yield ``(dst_address, state)`` for every channel out of ``op_rt``."""
+        for (_sender, dst), state in self._states.items():
+            if state.src_rt is op_rt:
+                yield dst, state
+
+    def mark_stable(self, op_rt: OperatorRuntime, stable_by_sender: dict) -> None:
+        """A checkpoint of ``op_rt`` covers all effects through the given
+        per-sender watermarks: retained buffers may truncate up to them."""
+        for sender, state in self.channels_into(op_rt):
+            stable = stable_by_sender.get(sender)
+            if stable is not None and stable > state.stable_w:
+                state.stable_w = stable
+                self._release(state)
+
+    def rollback_receiver(self, op_rt: OperatorRuntime, ckpt_channels: dict) -> int:
+        """Roll every channel into ``op_rt`` back to its checkpoint frontier.
+
+        ``ckpt_channels`` maps sender key to ``(watermark, processed_set)``
+        as recorded at checkpoint time (channels absent from the map roll
+        back to pristine).  The sender-visible fields roll back too — the
+        fail-over announcement is the control-plane event that carries the
+        rollback to the senders, the one case besides ``_on_ack`` allowed
+        to touch them.  Returns the number of processed messages whose
+        effects were lost and must be replayed."""
+        replayed = 0
+        for sender, state in self.channels_into(op_rt):
+            watermark, processed = ckpt_channels.get(sender, (-1, frozenset()))
+            replayed += (state.watermark - watermark)
+            replayed += len(state.processed) - len(processed)
+            # receiver side: delivery frontier back to the checkpoint (the
+            # processed set is restored because the snapshot state already
+            # contains those messages' effects — replay must skip them)
+            state.watermark = watermark
+            state.processed = set(processed)
+            state.pending.clear()
+            state.next_admit = watermark + 1
+            # sender side: resume go-back-N from the checkpoint frontier
+            if state.admitted_w > watermark:
+                state.admitted_w = watermark
+            if state.processed_w > watermark:
+                state.processed_w = watermark
+            state.timer_epoch += 1
+            state.timer_armed = False
+            state.rto = self._rto_initial
+            self._arm_timer(state)
+        return replayed
+
+    def rollback_sender_seqs(self, op_rt: OperatorRuntime, out_seqs: dict) -> None:
+        """Roll ``op_rt``'s outgoing sequence counters back to checkpoint.
+
+        Only called for operators whose emission order is replay-
+        deterministic: re-emissions after the restore then reuse the
+        original sequence numbers, downstream receivers drop the ones they
+        already processed, and recovery is exactly-once.  Stale buffered
+        copies of the rolled-back range are dropped — the re-emission
+        supersedes them."""
+        for dst, state in self.channels_from(op_rt):
+            next_seq = out_seqs.get(dst, 0)
+            if next_seq < state.next_seq:
+                for seq in range(next_seq, state.next_seq):
+                    if state.unacked.pop(seq, None) is not None:
+                        self._unacked_count -= 1
+                state.next_seq = next_seq
+
     # -- introspection -------------------------------------------------
 
     @property
@@ -338,6 +469,199 @@ class ReliableDelivery:
                 "retransmissions": state.retransmit_count,
             }
         return report
+
+
+class _OperatorCheckpoint:
+    """One operator's durable snapshot: state bytes plus the delivery
+    frontier the state is consistent with.
+
+    ``channels`` maps each incoming sender key to ``(watermark,
+    processed_set)``; ``out_seqs`` maps each outgoing destination address
+    to the channel's ``next_seq`` so a replay-deterministic operator can
+    re-emit under the original sequence numbers."""
+
+    __slots__ = ("time", "state", "channels", "out_seqs")
+
+    def __init__(self, time: float, state: bytes, channels: dict, out_seqs: dict):
+        self.time = time
+        self.state = state
+        self.channels = channels
+        self.out_seqs = out_seqs
+
+
+class CheckpointManager:
+    """Periodic asynchronous operator-state snapshots and crash restore.
+
+    Installed only when ``state_recovery != "none"`` (which itself
+    requires a non-empty fault schedule).  In ``"checkpoint"`` mode every
+    node runs an independent snapshot sweep on a jittered interval (the
+    jitter draws from the dedicated ``"checkpoints"`` RNG substream, so
+    enabling checkpointing never shifts any other random stream); each
+    sweep snapshots the operators currently placed on that node between
+    message executions — asynchronous with respect to the rest of the
+    cluster, atomic with respect to the operator (the simulation executes
+    a message's state mutation and its processed-ack at one instant).  In
+    ``"replay"`` mode no sweeps run and every restore falls back to a
+    pristine operator plus full replay — the upstream-backup baseline the
+    experiments compare against.
+
+    Restore (:meth:`restore`) rebuilds a lost operator from its last
+    checkpoint: state bytes into the operator, receiver frontier rollback
+    (watermark, out-of-order processed set, senders' go-back-N cursors)
+    and — for replay-deterministic operators — outgoing sequence rollback
+    so re-emissions dedupe downstream (exactly-once state recovery).
+    """
+
+    def __init__(self, sim, ops: dict, reliable: ReliableDelivery, metrics,
+                 timeline, rng, interval: float, mode: str):
+        self._sim = sim
+        self._ops = ops
+        self._reliable = reliable
+        self._metrics = metrics
+        self._timeline = timeline
+        self._rng = rng
+        self._interval = interval
+        self._mode = mode
+        self._checkpoints: dict = {}
+        self._lost: set = set()
+        reliable.enable_state_retention()
+
+    def start(self, nodes: list) -> None:
+        """Begin the per-node snapshot sweeps (``"checkpoint"`` mode only)."""
+        if self._mode != "checkpoint":
+            return
+        for node in nodes:
+            self._schedule_sweep(node)
+
+    def _schedule_sweep(self, node) -> None:
+        # jitter desynchronises the nodes' sweeps (a synchronous global
+        # snapshot barrier is exactly what async checkpointing avoids)
+        delay = self._interval * (1.0 + 0.1 * float(self._rng.random()))
+        self._sim.schedule_fast(delay, self._sweep, node)
+
+    def _sweep(self, node) -> None:
+        if not node.down:
+            count = 0
+            for op_rt in self._ops.values():
+                if op_rt.node_id == node.node_id and op_rt.address not in self._lost:
+                    self.checkpoint_op(op_rt)
+                    count += 1
+            self._timeline.record(
+                self._sim.now, "checkpoint",
+                f"node {node.node_id}: {count} operator snapshots",
+            )
+        self._schedule_sweep(node)
+
+    def checkpoint_op(self, op_rt: OperatorRuntime) -> None:
+        """Snapshot one operator and truncate buffers it no longer needs."""
+        state_bytes = op_rt.operator.state_snapshot()
+        channels = {}
+        stable = {}
+        for sender, ch in self._reliable.channels_into(op_rt):
+            channels[sender] = (ch.watermark, frozenset(ch.processed))
+            stable[sender] = ch.watermark
+        out_seqs = {dst: ch.next_seq for dst, ch in self._reliable.channels_from(op_rt)}
+        self._checkpoints[op_rt.address] = _OperatorCheckpoint(
+            self._sim.now, state_bytes, channels, out_seqs
+        )
+        self._metrics.checkpoints_taken += 1
+        self._metrics.checkpoint_bytes += len(state_bytes)
+        self._reliable.mark_stable(op_rt, stable)
+
+    # ------------------------------------------------------------------
+    # crash / restore (driven by the RecoveryManager)
+    # ------------------------------------------------------------------
+
+    def mark_lost_node(self, node_id: int) -> None:
+        """Fail-stop: the in-memory state of every operator on the node is
+        gone; restores are deferred to fail-over (or restart, when the
+        node comes back before detection)."""
+        for op_rt in self._ops.values():
+            if op_rt.node_id == node_id:
+                self._lost.add(op_rt.address)
+
+    def restore(self, op_rt: OperatorRuntime) -> bool:
+        """Rebuild a lost operator from its last checkpoint (or pristine).
+
+        Returns True when a restore happened (the operator was lost)."""
+        if op_rt.address not in self._lost:
+            return False
+        self._lost.discard(op_rt.address)
+        ckpt = self._checkpoints.get(op_rt.address)
+        op_rt.operator.state_restore(ckpt.state if ckpt is not None else None)
+        replayed = self._reliable.rollback_receiver(
+            op_rt, ckpt.channels if ckpt is not None else {}
+        )
+        if self._emission_deterministic(op_rt):
+            self._reliable.rollback_sender_seqs(
+                op_rt, ckpt.out_seqs if ckpt is not None else {}
+            )
+        self._metrics.state_restores += 1
+        self._metrics.messages_replayed_recovery += replayed
+        self._timeline.record(
+            self._sim.now, "restore",
+            f"{_format_address(op_rt.address)} restored from "
+            + (f"checkpoint at {ckpt.time:.3f}s" if ckpt is not None
+               else "scratch (no checkpoint)")
+            + f"; {replayed} messages to replay",
+        )
+        return True
+
+    def restore_on_node(self, node_id: int) -> int:
+        """Restore every still-lost operator on ``node_id`` (a node that
+        restarted before failure detection evacuated it)."""
+        restored = 0
+        for op_rt in self._ops.values():
+            if op_rt.node_id == node_id and self.restore(op_rt):
+                restored += 1
+        return restored
+
+    @staticmethod
+    def _emission_deterministic(op_rt: OperatorRuntime) -> bool:
+        """Whether replay reproduces the operator's emission sequence.
+
+        Windowed operators emit exactly one message per completed window
+        per out-link in window-end order, whatever the cross-channel
+        interleaving; single-input operators replay their one channel in
+        sequence order.  Multi-input pass-through operators interleave
+        emissions nondeterministically and degrade to at-least-once."""
+        return op_rt.stage.is_windowed or op_rt.input_channel_count <= 1
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def checkpoint_count(self) -> int:
+        return len(self._checkpoints)
+
+    def last_checkpoint_time(self, address) -> Optional[float]:
+        ckpt = self._checkpoints.get(address)
+        return ckpt.time if ckpt is not None else None
+
+    def describe(self) -> dict:
+        """JSON-able dump for the ``repro checkpoint`` subcommand."""
+        return {
+            "mode": self._mode,
+            "interval": self._interval,
+            "operators": {
+                _format_address(address): {
+                    "time": ckpt.time,
+                    "state_bytes": len(ckpt.state),
+                    "channels": {
+                        _format_address(sender): {
+                            "watermark": watermark,
+                            "out_of_order": len(processed),
+                        }
+                        for sender, (watermark, processed) in ckpt.channels.items()
+                    },
+                    "out_seqs": {
+                        _format_address(dst): seq
+                        for dst, seq in ckpt.out_seqs.items()
+                    },
+                }
+                for address, ckpt in self._checkpoints.items()
+            },
+            "lost": sorted(_format_address(a) for a in self._lost),
+        }
 
 
 class FailureDetector:
@@ -416,10 +740,17 @@ class RecoveryManager:
         self._tracer = tracer
         self._crash_time: dict[int, float] = {}
         self._evacuated: dict[int, list[OperatorRuntime]] = {}
+        self._checkpoints: Optional[CheckpointManager] = None
         self.detector = FailureDetector(
             sim, nodes, heartbeat_interval, failure_timeout,
             on_failure=self._on_failure, on_alive=self._on_alive,
         )
+
+    def attach_checkpoints(self, checkpoints: CheckpointManager) -> None:
+        """Install the state-recovery collaborator (``state_recovery !=
+        "none"`` runs only).  Without it, crashes keep the legacy
+        semantics: operator state rides along on the migration path."""
+        self._checkpoints = checkpoints
 
     def install(self, schedule) -> None:
         """Schedule every crash/restart of the fault schedule and start
@@ -468,6 +799,10 @@ class RecoveryManager:
             node.run_queue.discard(op_rt)
         self._metrics.messages_lost_crash += lost
         self._reliable.on_node_crash(node_id)
+        if self._checkpoints is not None:
+            # fail-stop is honest about memory: every operator on the node
+            # loses its in-memory state (restored at fail-over or restart)
+            self._checkpoints.mark_lost_node(node_id)
         self._timeline.record(now, "crash", f"node {node_id} down "
                                             f"({lost} queued messages lost)")
 
@@ -480,6 +815,10 @@ class RecoveryManager:
             return
         node.down = False
         self._metrics.node_restarts += 1
+        if self._checkpoints is not None:
+            # a crash the detector never saw: the node's operators were not
+            # evacuated, but their in-memory state is gone all the same
+            self._checkpoints.restore_on_node(node_id)
         returned = self._evacuated.pop(node_id, [])
         for op_rt in returned:
             self._lifecycle.migrate(op_rt, node_id)
@@ -503,6 +842,11 @@ class RecoveryManager:
         self._evacuated[node_id] = moved
         for op_rt in moved:
             self._reliable.on_failover(op_rt)
+        if self._checkpoints is not None:
+            # after evacuation (new home, empty mailbox): rebuild state from
+            # the last checkpoint and roll the delivery frontier back to it
+            for op_rt in moved:
+                self._checkpoints.restore(op_rt)
         self._timeline.record(
             now, "failover",
             f"node {node_id} declared dead after {now - crashed_at:.3f}s; "

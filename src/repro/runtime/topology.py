@@ -43,12 +43,23 @@ class Route:
 
     ``links`` pairs each target with its pre-resolved delivery channel and
     input-channel index — filled once at wiring time so the per-send hot
-    path does no dict lookups."""
+    path does no dict lookups.
+
+    ``active`` is the number of leading targets currently receiving data.
+    It equals ``len(targets)`` at construction and only diverges when the
+    lifecycle controller rescales the destination stage: the transport
+    partitions keys modulo ``active`` instead of the built parallelism, so
+    a stage can shrink or grow back without rewiring any channels."""
 
     dst_stage: StageSpec
     targets: list["OperatorRuntime"]
     key_partitioned: bool
     links: list[tuple] = field(default_factory=list)
+    active: int = -1
+
+    def __post_init__(self) -> None:
+        if self.active < 0:
+            self.active = len(self.targets)
 
 
 class OperatorRuntime:

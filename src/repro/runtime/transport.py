@@ -233,6 +233,10 @@ class Transport:
     ) -> None:
         for route in src_rt.routes:
             links = route.links
+            if route.active != len(links):
+                # stage rescale: only the leading ``active`` instances
+                # receive data; keys repartition modulo the active count
+                links = links[: route.active]
             if route.key_partitioned and len(links) > 1:
                 parallelism = len(links)
                 if parallelism == 2:

@@ -1,0 +1,26 @@
+"""Key-partitioned operator state stores (see ``docs/architecture.md``).
+
+The state layer extracts windowed-operator state out of operator
+internals into an explicit store with a uniform surface —
+``snapshot()/restore()``, ``split()/merge()`` and ``approx_size()`` — so
+the lifecycle controller can move state at key granularity and the
+checkpoint manager can persist it deterministically.
+"""
+
+from repro.state.store import (
+    AggregateStateStore,
+    JoinStateStore,
+    KeyedStateStore,
+    _Accumulator,
+    _JoinWindowState,
+    _WindowState,
+)
+
+__all__ = [
+    "KeyedStateStore",
+    "AggregateStateStore",
+    "JoinStateStore",
+    "_Accumulator",
+    "_WindowState",
+    "_JoinWindowState",
+]

@@ -1,0 +1,353 @@
+"""Keyed, window-partitioned operator state with a uniform store surface.
+
+A :class:`KeyedStateStore` owns everything a windowed operator accumulates
+between triggers: per-window, per-key state plus the emission watermark
+(``emitted_through``).  The store exposes exactly four capabilities the
+rest of the runtime builds on:
+
+* ``snapshot()`` / ``restore()`` — deterministic byte serialization
+  (windows and keys are written in sorted order, floats in fixed
+  little-endian IEEE-754), so two stores holding the same state produce
+  identical bytes regardless of insertion order.  This is what makes
+  checkpoints comparable and replay-equivalence testable bit-for-bit.
+* ``split(key_predicate)`` / ``merge(other)`` — key-granular state
+  movement: ``split`` extracts every matching key (with its accumulators)
+  into a new store, ``merge`` folds another store's state in.  A key's
+  accumulator object travels intact, so a rescale that re-homes a key
+  continues the *same* fold (same float-addition order) on the new owner.
+* ``approx_size()`` — a cheap byte estimate for the observability plane.
+* ``pending_window_count`` / ``key_count()`` — introspection.
+
+Hot-path contract: operators alias ``store.windows`` directly (one dict,
+shared by reference), so every mutator here works **in place** — the
+``windows`` dict object is never rebound, only cleared/updated.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Optional
+
+_D = struct.Struct("<d")
+_Q = struct.Struct("<Q")
+_I = struct.Struct("<I")
+_HEADER = struct.Struct("<4scd I")  # magic, kind, emitted_through, windows
+_AGG_KEY = struct.Struct("<qdQdd")  # key, sum, count, max, min
+_JOIN_KEY = struct.Struct("<qQQ")   # key, left count, right count
+_WINDOW_AGG = struct.Struct("<ddQI")  # end, max_arrival, tuple_count, keys
+_WINDOW_JOIN = struct.Struct("<ddI")  # end, max_arrival, keys
+
+_MAGIC = b"RST1"
+
+#: rough per-entry costs for ``approx_size`` (dict slot + object payload)
+_WINDOW_OVERHEAD = 96
+_KEY_OVERHEAD = 88
+
+
+class _Accumulator:
+    """Incremental per-key aggregate state for one window."""
+
+    __slots__ = ("sum", "count", "max", "min")
+
+    def __init__(self):
+        self.sum = 0.0
+        self.count = 0
+        self.max = float("-inf")
+        self.min = float("inf")
+
+    def add(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        if value > self.max:
+            self.max = value
+        if value < self.min:
+            self.min = value
+
+    def result(self, agg: str) -> float:
+        if agg == "sum":
+            return self.sum
+        if agg == "count":
+            return float(self.count)
+        if agg == "mean":
+            return self.sum / self.count if self.count else 0.0
+        if agg == "max":
+            return self.max
+        if agg == "min":
+            return self.min
+        raise ValueError(f"unknown aggregate {agg!r}")
+
+
+class _WindowState:
+    __slots__ = ("accumulators", "max_arrival", "tuple_count")
+
+    def __init__(self):
+        self.accumulators: dict[int, _Accumulator] = {}
+        self.max_arrival = float("-inf")
+        self.tuple_count = 0
+
+
+class _JoinWindowState:
+    """Per-key tuple counts for each side (the join emits pair counts)."""
+
+    __slots__ = ("left", "right", "max_arrival")
+
+    def __init__(self):
+        self.left: dict[int, int] = {}
+        self.right: dict[int, int] = {}
+        self.max_arrival = float("-inf")
+
+
+class KeyedStateStore:
+    """Base store: a dict of window-end -> per-window state, plus the
+    emission watermark.  Subclasses define the per-window state shape and
+    its (de)serialization; everything window-structural lives here."""
+
+    KIND: bytes = b"?"
+
+    def __init__(self):
+        #: window end -> per-window state.  Identity-stable: operators
+        #: alias this dict, so mutators never rebind it.
+        self.windows: dict = {}
+        #: highest window end already emitted (late-tuple cut-off)
+        self.emitted_through = float("-inf")
+
+    # -- subclass hooks ------------------------------------------------
+
+    def _encode_window(self, out: list, end: float, state) -> None:
+        raise NotImplementedError
+
+    def _decode_window(self, data: bytes, offset: int) -> tuple:
+        """Returns ``(end, state, next_offset)``."""
+        raise NotImplementedError
+
+    def _window_keys(self, state) -> list:
+        raise NotImplementedError
+
+    def _split_window(self, state, keys: list):
+        """Extract ``keys`` from ``state`` into a new window state (or
+        None when nothing was extracted)."""
+        raise NotImplementedError
+
+    def _merge_window(self, mine, other) -> None:
+        raise NotImplementedError
+
+    def _window_size(self, state) -> int:
+        raise NotImplementedError
+
+    # -- snapshot / restore --------------------------------------------
+
+    def snapshot(self) -> bytes:
+        """Serialize deterministically: sorted windows, sorted keys,
+        fixed-width little-endian floats and counters."""
+        out: list = [_HEADER.pack(_MAGIC, self.KIND, self.emitted_through,
+                                  len(self.windows))]
+        for end in sorted(self.windows):
+            self._encode_window(out, end, self.windows[end])
+        return b"".join(out)
+
+    def restore(self, data: Optional[bytes]) -> None:
+        """Replace this store's contents with a snapshot's (in place).
+
+        ``None`` (or empty bytes) resets the store to pristine — the
+        fail-over path for an operator that crashed before its first
+        checkpoint."""
+        self.windows.clear()
+        if not data:
+            self.emitted_through = float("-inf")
+            return
+        magic, kind, emitted_through, count = _HEADER.unpack_from(data, 0)
+        if magic != _MAGIC or kind != self.KIND:
+            raise ValueError(
+                f"snapshot kind mismatch: got {magic!r}/{kind!r}, "
+                f"expected {_MAGIC!r}/{self.KIND!r}"
+            )
+        self.emitted_through = emitted_through
+        offset = _HEADER.size
+        for _ in range(count):
+            end, state, offset = self._decode_window(data, offset)
+            self.windows[end] = state
+
+    # -- split / merge -------------------------------------------------
+
+    def split(self, key_predicate: Callable[[int], bool]) -> "KeyedStateStore":
+        """Extract every key matching the predicate into a new store.
+
+        The extracted accumulator objects move (not copy), so a key's
+        fold continues unchanged on the destination.  Windows left empty
+        on this side are dropped; the shard inherits ``emitted_through``
+        (the stage-wide emission cut-off travels with the keys)."""
+        shard = type(self)()
+        shard.emitted_through = self.emitted_through
+        emptied = []
+        for end, state in self.windows.items():
+            moved_keys = [k for k in self._window_keys(state) if key_predicate(k)]
+            if not moved_keys:
+                continue
+            moved = self._split_window(state, moved_keys)
+            if moved is not None:
+                shard.windows[end] = moved
+            if not self._window_keys(state):
+                emptied.append(end)
+        for end in emptied:
+            del self.windows[end]
+        return shard
+
+    def merge(self, other: "KeyedStateStore") -> None:
+        """Fold another store's state into this one (in place).
+
+        Disjoint keys (the rescale/migration case) transfer exactly;
+        overlapping keys combine commutatively (sum/count add, max/min
+        widen) — the straggler-tolerant general case."""
+        if type(other) is not type(self):
+            raise TypeError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}"
+            )
+        for end, theirs in other.windows.items():
+            mine = self.windows.get(end)
+            if mine is None:
+                self.windows[end] = theirs
+            else:
+                self._merge_window(mine, theirs)
+        other.windows.clear()
+        if other.emitted_through > self.emitted_through:
+            self.emitted_through = other.emitted_through
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def pending_window_count(self) -> int:
+        return len(self.windows)
+
+    def key_count(self) -> int:
+        return sum(len(self._window_keys(s)) for s in self.windows.values())
+
+    def approx_size(self) -> int:
+        """Rough in-memory footprint in bytes (observability counter)."""
+        size = _WINDOW_OVERHEAD * len(self.windows)
+        for state in self.windows.values():
+            size += _KEY_OVERHEAD * self._window_size(state)
+        return size
+
+    def clear(self) -> None:
+        self.windows.clear()
+        self.emitted_through = float("-inf")
+
+
+class AggregateStateStore(KeyedStateStore):
+    """Store for :class:`~repro.dataflow.operators.WindowedAggregateOperator`:
+    one :class:`_Accumulator` per (window, key)."""
+
+    KIND = b"A"
+
+    def _encode_window(self, out: list, end: float, state: _WindowState) -> None:
+        accumulators = state.accumulators
+        out.append(_WINDOW_AGG.pack(end, state.max_arrival, state.tuple_count,
+                                    len(accumulators)))
+        for key in sorted(accumulators):
+            acc = accumulators[key]
+            out.append(_AGG_KEY.pack(key, acc.sum, acc.count, acc.max, acc.min))
+
+    def _decode_window(self, data: bytes, offset: int) -> tuple:
+        end, max_arrival, tuple_count, nkeys = _WINDOW_AGG.unpack_from(data, offset)
+        offset += _WINDOW_AGG.size
+        state = _WindowState()
+        state.max_arrival = max_arrival
+        state.tuple_count = tuple_count
+        for _ in range(nkeys):
+            key, acc_sum, count, acc_max, acc_min = _AGG_KEY.unpack_from(data, offset)
+            offset += _AGG_KEY.size
+            acc = _Accumulator()
+            acc.sum, acc.count, acc.max, acc.min = acc_sum, count, acc_max, acc_min
+            state.accumulators[key] = acc
+        return end, state, offset
+
+    def _window_keys(self, state: _WindowState) -> list:
+        return list(state.accumulators)
+
+    def _split_window(self, state: _WindowState, keys: list):
+        moved = _WindowState()
+        # the arrival anchor is window-level (max over every contributing
+        # tuple); both sides keep it so emission anchors match the
+        # un-split run exactly
+        moved.max_arrival = state.max_arrival
+        accumulators = state.accumulators
+        for key in keys:
+            acc = accumulators.pop(key)
+            moved.accumulators[key] = acc
+            moved.tuple_count += acc.count
+        state.tuple_count -= moved.tuple_count
+        return moved
+
+    def _merge_window(self, mine: _WindowState, theirs: _WindowState) -> None:
+        accumulators = mine.accumulators
+        for key, acc in theirs.accumulators.items():
+            existing = accumulators.get(key)
+            if existing is None:
+                accumulators[key] = acc
+            else:
+                existing.sum += acc.sum
+                existing.count += acc.count
+                if acc.max > existing.max:
+                    existing.max = acc.max
+                if acc.min < existing.min:
+                    existing.min = acc.min
+        mine.tuple_count += theirs.tuple_count
+        if theirs.max_arrival > mine.max_arrival:
+            mine.max_arrival = theirs.max_arrival
+
+    def _window_size(self, state: _WindowState) -> int:
+        return len(state.accumulators)
+
+
+class JoinStateStore(KeyedStateStore):
+    """Store for :class:`~repro.dataflow.operators.WindowedJoinOperator`:
+    per-key tuple counts for each side of the join."""
+
+    KIND = b"J"
+
+    def _encode_window(self, out: list, end: float, state: _JoinWindowState) -> None:
+        keys = sorted(set(state.left) | set(state.right))
+        out.append(_WINDOW_JOIN.pack(end, state.max_arrival, len(keys)))
+        left, right = state.left, state.right
+        for key in keys:
+            out.append(_JOIN_KEY.pack(key, left.get(key, 0), right.get(key, 0)))
+
+    def _decode_window(self, data: bytes, offset: int) -> tuple:
+        end, max_arrival, nkeys = _WINDOW_JOIN.unpack_from(data, offset)
+        offset += _WINDOW_JOIN.size
+        state = _JoinWindowState()
+        state.max_arrival = max_arrival
+        for _ in range(nkeys):
+            key, left, right = _JOIN_KEY.unpack_from(data, offset)
+            offset += _JOIN_KEY.size
+            if left:
+                state.left[key] = left
+            if right:
+                state.right[key] = right
+        return end, state, offset
+
+    def _window_keys(self, state: _JoinWindowState) -> list:
+        return list(set(state.left) | set(state.right))
+
+    def _split_window(self, state: _JoinWindowState, keys: list):
+        moved = _JoinWindowState()
+        moved.max_arrival = state.max_arrival
+        for key in keys:
+            left = state.left.pop(key, None)
+            if left is not None:
+                moved.left[key] = left
+            right = state.right.pop(key, None)
+            if right is not None:
+                moved.right[key] = right
+        return moved
+
+    def _merge_window(self, mine: _JoinWindowState, theirs: _JoinWindowState) -> None:
+        for key, count in theirs.left.items():
+            mine.left[key] = mine.left.get(key, 0) + count
+        for key, count in theirs.right.items():
+            mine.right[key] = mine.right.get(key, 0) + count
+        if theirs.max_arrival > mine.max_arrival:
+            mine.max_arrival = theirs.max_arrival
+
+    def _window_size(self, state: _JoinWindowState) -> int:
+        return len(set(state.left) | set(state.right))

@@ -1,0 +1,150 @@
+"""Engine-level tests for async checkpointing and replay truncation.
+
+``state_recovery="checkpoint"`` must (a) stay completely inert unless
+asked for, (b) recover crashed operators to the same windowed aggregates
+a fault-free run produces, (c) replay strictly fewer messages than the
+``"replay"`` upstream-backup baseline, and (d) let the reliable layer
+truncate retransmit buffers at the checkpoint watermark instead of
+retaining full history.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime.config import EngineConfig
+from repro.runtime.engine import StreamEngine
+from repro.sim.faults import CrashWindow, FaultSchedule
+from repro.workloads.arrivals import (
+    FixedBatchSize,
+    PeriodicArrivals,
+    drive_all_sources,
+)
+from repro.workloads.tenants import (
+    make_bulk_analytics_job,
+    make_latency_sensitive_job,
+)
+
+CRASH = FaultSchedule(crashes=[CrashWindow(node=1, start=1.6, end=2.6)])
+
+
+def run_engine(schedule=None, scheduler="cameo", duration=4.0, seed=3,
+               **overrides):
+    """The recovery-suite tenant pair under an optional fault schedule."""
+    ls = make_latency_sensitive_job("ls0", source_count=2)
+    ba = make_bulk_analytics_job("ba0", source_count=2)
+    engine = StreamEngine(
+        EngineConfig(scheduler=scheduler, nodes=2, workers_per_node=2,
+                     seed=seed, fault_schedule=schedule, **overrides),
+        [ls, ba],
+    )
+    drive_all_sources(engine, ls, lambda s, i: PeriodicArrivals(1 / 20.0),
+                      sizer=FixedBatchSize(200), until=duration)
+    drive_all_sources(engine, ba, lambda s, i: PeriodicArrivals(1 / 5.0),
+                      sizer=FixedBatchSize(200), until=duration)
+    engine.run(until=duration + 8.0)
+    return engine
+
+
+def checkpointed(**overrides):
+    overrides.setdefault("state_recovery", "checkpoint")
+    overrides.setdefault("checkpoint_interval", 0.5)
+    return run_engine(schedule=CRASH, **overrides)
+
+
+class TestConfigValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="state recovery mode"):
+            EngineConfig(state_recovery="snapshots")
+
+    def test_recovery_requires_fault_schedule(self):
+        with pytest.raises(ValueError):
+            EngineConfig(state_recovery="replay")
+
+    def test_checkpoint_mode_requires_positive_interval(self):
+        with pytest.raises(ValueError):
+            EngineConfig(state_recovery="checkpoint", fault_schedule=CRASH,
+                         checkpoint_interval=0.0)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(checkpoint_interval=-1.0)
+
+
+def test_mode_none_installs_no_checkpoint_machinery():
+    """Faults alone never pay for state recovery: the null collaborator."""
+    engine = run_engine(schedule=CRASH)
+    assert engine.checkpoints is None
+    assert engine.metrics.checkpoints_taken == 0
+    assert engine.metrics.state_restores == 0
+
+
+@pytest.mark.parametrize("scheduler", ["cameo", "fifo", "orleans"])
+def test_checkpointed_recovery_preserves_aggregates(scheduler):
+    """Crash, restore from checkpoint, replay the suffix — the sink sees
+    every window once, with the fault-free aggregate values."""
+    clean = run_engine(scheduler=scheduler)
+    recovered = checkpointed(scheduler=scheduler)
+    assert recovered.metrics.state_restores > 0
+    for job in ("ls0", "ba0"):
+        base = clean.metrics.job(job)
+        after = recovered.metrics.job(job)
+        assert after.output_count == base.output_count
+        # sums are tolerance-compared: replay may interleave channels in a
+        # different order, and float addition is not associative
+        assert sum(after.output_values) == pytest.approx(sum(base.output_values))
+
+
+def test_checkpoint_replays_strictly_less_than_replay_mode():
+    replay = run_engine(schedule=CRASH, state_recovery="replay")
+    ckpt = checkpointed()
+    assert replay.metrics.state_restores > 0
+    assert ckpt.metrics.state_restores > 0
+    assert replay.metrics.checkpoints_taken == 0
+    assert ckpt.metrics.checkpoints_taken > 0
+    assert ckpt.metrics.checkpoint_bytes > 0
+    assert (ckpt.metrics.messages_replayed_recovery
+            < replay.metrics.messages_replayed_recovery)
+
+
+def test_retransmit_buffers_truncate_at_checkpoint_watermark():
+    """``"replay"`` retains full sender history (upstream backup); the
+    checkpoint watermark lets the reliable layer release everything the
+    last snapshot already covers."""
+    replay = run_engine(schedule=CRASH, state_recovery="replay")
+    ckpt = checkpointed()
+    retained = replay.reliable.unacked_total()
+    truncated = ckpt.reliable.unacked_total()
+    assert retained > 0
+    assert truncated < retained
+
+
+def test_timeline_records_checkpoints_and_restores():
+    engine = checkpointed()
+    kinds = [kind for _, kind, _ in engine.fault_timeline.events]
+    assert "checkpoint" in kinds
+    assert "restore" in kinds
+    restore_notes = [note for _, kind, note in engine.fault_timeline.events
+                     if kind == "restore"]
+    assert any("restored from checkpoint" in note for note in restore_notes)
+
+
+def test_describe_is_json_serializable():
+    engine = checkpointed()
+    dump = json.loads(json.dumps(engine.checkpoints.describe()))
+    assert dump["mode"] == "checkpoint"
+    assert dump["interval"] == 0.5
+    assert dump["operators"]  # at least one live snapshot survives the run
+
+
+def test_checkpointed_run_is_deterministic():
+    first = checkpointed()
+    second = checkpointed()
+    for job in ("ls0", "ba0"):
+        a, b = first.metrics.job(job), second.metrics.job(job)
+        assert a.output_values == b.output_values
+        assert a.output_times == b.output_times
+    assert (first.metrics.messages_replayed_recovery
+            == second.metrics.messages_replayed_recovery)

@@ -1,0 +1,212 @@
+"""Unit tests for the keyed state store layer.
+
+The store is the substrate every state-touching subsystem (checkpoints,
+rescale, migration, obs sampling) builds on, so its contract is pinned
+directly: deterministic serialization, in-place restore, key-granular
+split/merge that moves accumulator objects whole, and cheap
+introspection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.state.store import (
+    AggregateStateStore,
+    JoinStateStore,
+    KeyedStateStore,
+    _Accumulator,
+    _JoinWindowState,
+    _WindowState,
+)
+
+
+def agg_store(entries, emitted_through=float("-inf")) -> AggregateStateStore:
+    """Build a store from ``(window_end, key, value)`` tuples."""
+    store = AggregateStateStore()
+    store.emitted_through = emitted_through
+    for end, key, value in entries:
+        state = store.windows.get(end)
+        if state is None:
+            state = _WindowState()
+            store.windows[end] = state
+        acc = state.accumulators.get(key)
+        if acc is None:
+            acc = _Accumulator()
+            state.accumulators[key] = acc
+        acc.add(value)
+        state.tuple_count += 1
+        if end > state.max_arrival:
+            state.max_arrival = end
+    return store
+
+
+def join_store(entries) -> JoinStateStore:
+    """Build a store from ``(window_end, key, side, count)`` tuples."""
+    store = JoinStateStore()
+    for end, key, side, count in entries:
+        state = store.windows.get(end)
+        if state is None:
+            state = _JoinWindowState()
+            store.windows[end] = state
+        table = state.left if side == 0 else state.right
+        table[key] = table.get(key, 0) + count
+        if end > state.max_arrival:
+            state.max_arrival = end
+    return store
+
+
+SAMPLE = [
+    (1.0, 3, 2.5), (1.0, 3, -1.0), (1.0, 7, 0.125),
+    (2.0, 3, 4.0), (2.0, 11, 1e-9), (3.0, 0, 1e12),
+]
+
+
+class TestSnapshotRestore:
+    def test_round_trip_is_exact(self):
+        store = agg_store(SAMPLE, emitted_through=0.5)
+        data = store.snapshot()
+        fresh = AggregateStateStore()
+        fresh.restore(data)
+        assert fresh.snapshot() == data
+        assert fresh.emitted_through == 0.5
+        assert fresh.key_count() == store.key_count()
+        # accumulator payloads survive bit-for-bit
+        acc = fresh.windows[1.0].accumulators[3]
+        assert acc.sum == 1.5 and acc.count == 2
+        assert acc.max == 2.5 and acc.min == -1.0
+
+    def test_bytes_independent_of_insertion_order(self):
+        forward = agg_store(SAMPLE)
+        backward = agg_store(list(reversed(SAMPLE)))
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_join_round_trip(self):
+        store = join_store([
+            (1.0, 5, 0, 3), (1.0, 5, 1, 2), (1.0, 9, 0, 1), (2.0, 5, 1, 4),
+        ])
+        fresh = JoinStateStore()
+        fresh.restore(store.snapshot())
+        assert fresh.snapshot() == store.snapshot()
+        assert fresh.windows[1.0].left == {5: 3, 9: 1}
+        assert fresh.windows[1.0].right == {5: 2}
+
+    def test_restore_none_resets_pristine(self):
+        store = agg_store(SAMPLE, emitted_through=2.0)
+        windows = store.windows  # identity-stable alias
+        store.restore(None)
+        assert store.windows is windows
+        assert store.pending_window_count == 0
+        assert store.emitted_through == float("-inf")
+
+    def test_restore_is_in_place(self):
+        """Operators alias ``store.windows``; restore must never rebind it."""
+        store = agg_store(SAMPLE)
+        alias = store.windows
+        store.restore(agg_store([(9.0, 1, 1.0)]).snapshot())
+        assert store.windows is alias
+        assert list(alias) == [9.0]
+
+    def test_kind_mismatch_rejected(self):
+        agg = agg_store(SAMPLE)
+        join = JoinStateStore()
+        with pytest.raises(ValueError, match="kind mismatch"):
+            join.restore(agg.snapshot())
+
+    def test_bad_magic_rejected(self):
+        store = AggregateStateStore()
+        data = bytearray(agg_store(SAMPLE).snapshot())
+        data[:4] = b"XXXX"
+        with pytest.raises(ValueError, match="kind mismatch"):
+            store.restore(bytes(data))
+
+
+class TestSplitMerge:
+    def test_split_moves_accumulator_objects(self):
+        store = agg_store(SAMPLE)
+        acc = store.windows[1.0].accumulators[3]
+        shard = store.split(lambda key: key % 2 == 1)
+        # the very same object continues its fold on the shard
+        assert shard.windows[1.0].accumulators[3] is acc
+        assert 3 not in store.windows.get(1.0, _WindowState()).accumulators
+
+    def test_split_merge_round_trips(self):
+        reference = agg_store(SAMPLE, emitted_through=1.0).snapshot()
+        store = agg_store(SAMPLE, emitted_through=1.0)
+        shard = store.split(lambda key: key % 2 == 1)
+        assert shard.emitted_through == 1.0
+        store.merge(shard)
+        assert store.snapshot() == reference
+
+    def test_split_conserves_counts(self):
+        store = agg_store(SAMPLE)
+        total_keys = store.key_count()
+        shard = store.split(lambda key: key < 5)
+        assert store.key_count() + shard.key_count() == total_keys
+        # tuple counts split with the keys
+        for end, state in shard.windows.items():
+            moved = sum(a.count for a in state.accumulators.values())
+            assert state.tuple_count == moved
+
+    def test_split_drops_emptied_windows(self):
+        store = agg_store([(1.0, 2, 1.0), (2.0, 3, 1.0)])
+        shard = store.split(lambda key: key == 2)
+        assert list(store.windows) == [2.0]
+        assert list(shard.windows) == [1.0]
+
+    def test_merge_overlapping_keys_combines(self):
+        a = agg_store([(1.0, 3, 2.0), (1.0, 3, 4.0)])
+        b = agg_store([(1.0, 3, -1.0)])
+        a.merge(b)
+        acc = a.windows[1.0].accumulators[3]
+        assert acc.sum == 5.0 and acc.count == 3
+        assert acc.max == 4.0 and acc.min == -1.0
+        assert not b.windows  # merge consumes the other store
+
+    def test_merge_advances_emitted_through(self):
+        a = agg_store([], emitted_through=1.0)
+        b = agg_store([], emitted_through=3.0)
+        a.merge(b)
+        assert a.emitted_through == 3.0
+        # never regresses
+        a.merge(agg_store([], emitted_through=2.0))
+        assert a.emitted_through == 3.0
+
+    def test_merge_rejects_kind_mismatch(self):
+        with pytest.raises(TypeError):
+            AggregateStateStore().merge(JoinStateStore())
+
+    def test_join_split_merge_round_trips(self):
+        entries = [(1.0, 5, 0, 3), (1.0, 6, 1, 2), (2.0, 5, 1, 4)]
+        reference = join_store(entries).snapshot()
+        store = join_store(entries)
+        shards = [store.split(lambda key, j=j: key % 3 == j) for j in range(3)]
+        for shard in shards:
+            store.merge(shard)
+        assert store.snapshot() == reference
+
+
+class TestIntrospection:
+    def test_counts_and_size(self):
+        store = agg_store(SAMPLE)
+        assert store.pending_window_count == 3
+        assert store.key_count() == 5  # (1.0,3) (1.0,7) (2.0,3) (2.0,11) (3.0,0)
+        assert store.approx_size() > 0
+        empty = AggregateStateStore()
+        assert empty.approx_size() == 0
+        assert empty.key_count() == 0
+
+    def test_size_grows_with_state(self):
+        small = agg_store(SAMPLE[:2])
+        assert agg_store(SAMPLE).approx_size() > small.approx_size()
+
+    def test_clear(self):
+        store = agg_store(SAMPLE, emitted_through=2.0)
+        store.clear()
+        assert store.pending_window_count == 0
+        assert store.emitted_through == float("-inf")
+
+    def test_base_class_hooks_are_abstract(self):
+        store = KeyedStateStore()
+        with pytest.raises(NotImplementedError):
+            store._window_keys(None)

@@ -1,0 +1,190 @@
+"""Property tests for the state layer (ISSUE 8 satellite).
+
+Two invariants the recovery and rescale paths lean on, checked over
+hypothesis-generated state:
+
+* **split/merge round-trips an arbitrary key partition losslessly** —
+  partitioning a store into ``p`` shards by ``key % p`` and folding the
+  shards back reproduces the original snapshot byte-for-byte, in any
+  merge order.
+* **snapshot → restore → replay suffix is bit-identical to the
+  uninterrupted run** — for a windowed operator fed an arbitrary message
+  sequence, restoring a mid-sequence snapshot into a *fresh* operator and
+  replaying the remaining messages yields the same final state bytes and
+  the same emissions as never having failed.  This is the operator-level
+  determinism the engine-level per-scheduler checkpoint tests
+  (``tests/runtime/test_checkpoint.py``) build on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.events import EventBatch
+from repro.dataflow.messages import Message
+from repro.dataflow.operators import OpAddress, WindowedAggregateOperator
+from repro.dataflow.windows import WindowSpec
+from repro.state.store import AggregateStateStore, _Accumulator, _WindowState
+
+# ---------------------------------------------------------------------------
+# split / merge
+# ---------------------------------------------------------------------------
+
+entry = st.tuples(
+    st.integers(min_value=1, max_value=6).map(float),        # window end
+    st.integers(min_value=0, max_value=40),                  # key
+    st.floats(min_value=-1e6, max_value=1e6,
+              allow_nan=False, allow_infinity=False),        # value
+)
+
+
+def build(entries) -> AggregateStateStore:
+    store = AggregateStateStore()
+    for end, key, value in entries:
+        state = store.windows.get(end)
+        if state is None:
+            state = _WindowState()
+            store.windows[end] = state
+        acc = state.accumulators.get(key)
+        if acc is None:
+            acc = _Accumulator()
+            state.accumulators[key] = acc
+        acc.add(value)
+        state.tuple_count += 1
+    return store
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    entries=st.lists(entry, min_size=0, max_size=60),
+    partitions=st.integers(min_value=1, max_value=7),
+    merge_order=st.randoms(use_true_random=False),
+)
+def test_split_merge_round_trips_any_partition(entries, partitions, merge_order):
+    reference = build(entries).snapshot()
+    store = build(entries)
+    shards = [
+        store.split(lambda key, j=j: key % partitions == j)
+        for j in range(partitions)
+    ]
+    assert store.key_count() == 0  # the partition is exhaustive
+    merge_order.shuffle(shards)
+    merged = AggregateStateStore()
+    for shard in shards:
+        merged.merge(shard)
+    assert merged.snapshot() == reference
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    entries=st.lists(entry, min_size=0, max_size=60),
+    partitions=st.integers(min_value=1, max_value=7),
+)
+def test_split_conserves_every_key(entries, partitions):
+    store = build(entries)
+    per_window = {
+        end: dict(state.accumulators) for end, state in store.windows.items()
+    }
+    shards = [
+        store.split(lambda key, j=j: key % partitions == j)
+        for j in range(partitions)
+    ]
+    for end, accumulators in per_window.items():
+        for key, acc in accumulators.items():
+            owner = shards[key % partitions]
+            assert owner.windows[end].accumulators[key] is acc
+
+
+# ---------------------------------------------------------------------------
+# snapshot → restore → replay suffix
+# ---------------------------------------------------------------------------
+
+ADDR = OpAddress("job", "agg", 0)
+
+message = st.tuples(
+    st.lists(  # (logical_time, key, value) tuples of one batch
+        st.tuples(
+            st.floats(min_value=0.0, max_value=8.0,
+                      allow_nan=False, allow_infinity=False),
+            st.integers(min_value=0, max_value=15),
+            st.floats(min_value=-1e3, max_value=1e3,
+                      allow_nan=False, allow_infinity=False),
+        ),
+        min_size=0, max_size=8,
+    ),
+    st.floats(min_value=0.0, max_value=9.0,
+              allow_nan=False, allow_infinity=False),       # progress
+)
+
+
+def prepare(sequence) -> list[tuple]:
+    """Assign each message its progress (monotone per channel, as the
+    runtime's per-channel FIFO guarantees).  Replay re-delivers the *same*
+    messages, so the suffix must carry the original progress values —
+    which is why this runs once over the full sequence, not per drive."""
+    prepared = []
+    progress_high = 0.0
+    for tuples, progress in sequence:
+        progress_high = max(progress_high, progress)
+        prepared.append((tuples, progress_high))
+    return prepared
+
+
+def drive(op: WindowedAggregateOperator, prepared) -> list[tuple]:
+    """Feed prepared messages; return a comparable emission log."""
+    log = []
+    for tuples, progress in prepared:
+        if tuples:
+            times, keys, values = zip(*tuples)
+            batch = EventBatch(
+                np.asarray(times), np.asarray(values),
+                np.asarray(keys, dtype=np.int64), arrival_time=progress,
+            )
+        else:
+            batch = EventBatch([], arrival_time=progress)
+        out = op.on_message(
+            Message(target=ADDR, batch=batch, p=progress,
+                    t=progress, channel_index=0),
+            now=progress,
+        )
+        for emission in out:
+            log.append((
+                emission.progress,
+                emission.batch.keys.tobytes(),
+                emission.batch.values.tobytes(),
+            ))
+    return log
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sequence=st.lists(message, min_size=1, max_size=20),
+    cut=st.integers(min_value=0, max_value=19),
+    agg=st.sampled_from(["sum", "count", "max"]),
+)
+def test_snapshot_restore_replay_suffix_is_bit_identical(sequence, cut, agg):
+    cut = min(cut, len(sequence))
+    window = WindowSpec.tumbling(1.0)
+    prepared = prepare(sequence)
+
+    uninterrupted = WindowedAggregateOperator(ADDR, window, agg=agg)
+    uninterrupted.wire_inputs(1)
+    full_log = drive(uninterrupted, prepared)
+    final_state = uninterrupted.state_snapshot()
+
+    # run the prefix, checkpoint, "fail", restore into a fresh operator
+    victim = WindowedAggregateOperator(ADDR, window, agg=agg)
+    victim.wire_inputs(1)
+    prefix_log = drive(victim, prepared[:cut])
+    checkpoint = victim.state_snapshot()
+
+    restored = WindowedAggregateOperator(ADDR, window, agg=agg)
+    restored.wire_inputs(1)
+    restored.state_restore(checkpoint)
+    assert restored.state_snapshot() == checkpoint  # restore is faithful
+    suffix_log = drive(restored, prepared[cut:])
+
+    assert restored.state_snapshot() == final_state
+    assert prefix_log + suffix_log == full_log
