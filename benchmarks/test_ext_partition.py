@@ -1,0 +1,67 @@
+"""Extension — quorum fail-over and contended links under partitions."""
+
+from conftest import run_once
+
+from repro.experiments import run_ext_partition
+
+
+def test_ext_partition(benchmark, archive):
+    result = run_once(benchmark, run_ext_partition)
+    archive(result)
+    extras = result.extras
+    quorum = extras["cameo + quorum"]
+    naive = extras["cameo + naive"]
+    orleans = extras["orleans + quorum"]
+    fifo = extras["fifo + quorum"]
+    clean = extras["cameo (no partition)"]
+    fair = extras["cameo + quorum (fair link)"]
+    edf = extras["cameo + quorum (edf link)"]
+
+    # the headline claim: quorum-gated fail-over rides out two minority
+    # cuts with full LS deadline success and zero split-brain instances,
+    # and the completion-log sweep proves no fenced/dead owner executed
+    assert quorum["success"] >= 0.95
+    part = quorum["fault_report"]["partitions"]
+    assert part["double_spawns"] == 0
+    assert quorum["invariant"] is not None
+    assert quorum["invariant"]["completions_checked"] > 0
+    assert quorum["invariant"]["fence_windows"] == 2
+
+    # naive fail-over has no fence and no gate: both sides evacuate each
+    # other on every cut, and the duplicates burn real capacity
+    naive_part = naive["fault_report"]["partitions"]
+    assert naive_part["double_spawns"] > 0
+    assert naive_part["nodes_fenced"] == 0
+    assert naive["success"] < quorum["success"]
+
+    # the baselines cannot reprioritise around the post-heal backlog
+    assert orleans["success"] < 0.20
+    assert fifo["success"] < 0.80
+    assert quorum["success"] >= orleans["success"] + 0.5
+
+    # partition-free anchor: full success, no partition machinery engaged
+    assert clean["success"] == 1.0
+    clean_part = clean["fault_report"]["partitions"]
+    assert clean_part["partitions_observed"] == 0
+    assert clean["fault_report"]["retransmissions"] == 0
+
+    # deadline-aware link scheduling: EDF lets LS frames overtake queued
+    # bulk during replay bursts; fair-share collapses under the same load
+    assert edf["success"] > fair["success"]
+    assert edf["p99"] < fair["p99"]
+    assert edf["success"] >= 0.95
+
+    # partition mechanics exercised identically under every quorum variant
+    for label in ("cameo + quorum", "orleans + quorum", "fifo + quorum",
+                  "cameo + quorum (edf link)"):
+        part = extras[label]["fault_report"]["partitions"]
+        assert part["partitions_observed"] == 2
+        assert part["partition_heals"] == 2
+        assert part["nodes_fenced"] == 2
+        assert part["failovers_suppressed_no_quorum"] > 0
+        assert part["reconciliations"] == 2
+        assert part["messages_dropped_partition"] > 0
+        kinds = [k for _, k, _ in extras[label]["timeline"]]
+        assert kinds.count("partition") == 2 and kinds.count("heal") == 2
+        assert kinds.count("fence") == 2 and kinds.count("unfence") == 2
+        assert kinds.count("reconcile") == 2

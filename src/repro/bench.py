@@ -508,6 +508,65 @@ def bench_state_store(windows: int = 16, keys: int = 2048, repeats: int = 5) -> 
     }
 
 
+def bench_partition_recovery(
+    cut_lengths=(2.0, 4.0, 6.0), duration: float = 16.0, seed: int = 4,
+) -> dict:
+    """Time-to-reconcile after a healed partition, vs backlog size.
+
+    One minority cut (node 2 isolated from {0, 1}) of growing length: the
+    longer the cut, the more go-back-N backlog piles up on the severed
+    channels and the longer the post-heal replay takes.  Two simulated-time
+    measurements per point, both read off the fault timeline and the
+    reliable-delivery ledger:
+
+    * ``reconcile_s`` — heal instant to the reconciliation migrating the
+      evacuated operators home (the control-plane half),
+    * ``drain_s`` — heal instant to the live backlog emptying
+      (``outstanding_total() == 0``; the data-plane half, sampled on a
+      50 ms probe so the figure is deterministic).
+
+    ``seconds`` (wall clock, all points end-to-end) is what the regression
+    harness compares across revisions."""
+    from repro.experiments.ext_partition import _build_and_drive
+    from repro.sim.faults import FaultSchedule, Partition
+
+    result: dict = {
+        "kind": "workload", "unit": "s", "backend": "sim",
+        "nodes": 3, "workers_per_node": 2, "cuts": {},
+    }
+    start_all = time.perf_counter()
+    for cut in cut_lengths:
+        heal_at = 0.3 * duration + cut
+        schedule = FaultSchedule(
+            partitions=[Partition(start=0.3 * duration, end=heal_at,
+                                  groups=[(2,)])],
+        )
+        engine = _build_and_drive("cameo", duration, seed, schedule)
+        drained_at: list = []
+
+        def probe(engine=engine, drained_at=drained_at):
+            if engine.reliable.outstanding_total() == 0:
+                drained_at.append(engine.sim.now)
+            else:  # keep sampling; the run horizon bounds the probe chain
+                engine.sim.schedule_at(engine.sim.now + 0.05, probe)
+
+        engine.sim.schedule_at(heal_at, probe)
+        engine.run(until=duration + 8.0)
+        heals = engine.fault_timeline.of_kind("heal")
+        reconciles = engine.fault_timeline.of_kind("reconcile")
+        report = engine.metrics.fault_report()
+        result["cuts"][str(cut)] = {
+            "reconcile_s": (reconciles[0][0] - heals[0][0])
+            if heals and reconciles else float("nan"),
+            "drain_s": (drained_at[0] - heal_at)
+            if drained_at else float("nan"),
+            "backlog_drops": report["partitions"]["messages_dropped_partition"],
+            "retransmissions": report["retransmissions"],
+        }
+    result["seconds"] = time.perf_counter() - start_all
+    return result
+
+
 def bench_mp_scaling_spin(
     duration: float = 6.0, seed: int = 4, worker_counts=(1, 2, 4),
     repeats: int = 3,
@@ -544,6 +603,10 @@ BENCHES: dict = {
     "scheduler_churn": (bench_scheduler_churn, {"n": 10_000, "repeats": 2}),
     "message_alloc": (bench_message_alloc, {"n": 20_000, "repeats": 2}),
     "state_store": (bench_state_store, {"windows": 4, "keys": 256, "repeats": 2}),
+    "partition_recovery": (
+        bench_partition_recovery,
+        {"cut_lengths": (2.0,), "duration": 8.0},
+    ),
 }
 
 #: which execution backend each bench exercises (default: "sim");

@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli bench --label pr2 --compare BENCH_seed.json
     python -m repro.cli topology --ls 2 --ba 1 --nodes 2
     python -m repro.cli faults --scheduler cameo --shed
+    python -m repro.cli faults --scenario ext_partition --describe
     python -m repro.cli trace ext_faults --attribution --out traces/
     python -m repro.cli state --ls 2 --ba 1
     python -m repro.cli checkpoint --interval 0.5
@@ -65,6 +66,7 @@ RUNNERS = {
     "ext_migration": experiments.run_ext_migration,
     "ext_faults": experiments.run_ext_faults,
     "ext_checkpoint": experiments.run_ext_checkpoint,
+    "ext_partition": experiments.run_ext_partition,
 }
 
 
@@ -117,9 +119,10 @@ def topology_main(argv: list[str]) -> int:
 
 
 def faults_main(argv: list[str]) -> int:
-    """Run a tenant mix under the canonical fault schedule and dump the
+    """Run a tenant mix under a deterministic fault schedule and dump the
     fault/recovery counters plus the injected-fault timeline as JSON."""
     from repro.experiments.ext_faults import make_fault_schedule
+    from repro.experiments.ext_partition import make_partition_schedule
     from repro.runtime.config import EngineConfig
     from repro.runtime.engine import StreamEngine
     from repro.workloads.arrivals import (
@@ -134,9 +137,18 @@ def faults_main(argv: list[str]) -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro.cli faults",
-        description="Drive a tenant mix through the deterministic crash+loss "
+        description="Drive a tenant mix through a deterministic fault "
                     "schedule and report fault/recovery counters.",
     )
+    parser.add_argument("--scenario", default="ext_faults",
+                        choices=["ext_faults", "ext_partition"],
+                        help="ext_faults = the canonical crash+loss schedule; "
+                             "ext_partition = the two-cut partition schedule "
+                             "with quorum fail-over (default: ext_faults)")
+    parser.add_argument("--describe", action="store_true",
+                        help="print the schedule itself (windows, rates, "
+                             "partition groups) as JSON and exit without "
+                             "running anything")
     parser.add_argument("--ls", type=int, default=2,
                         help="latency-sensitive job count (default 2)")
     parser.add_argument("--ba", type=int, default=1,
@@ -151,19 +163,37 @@ def faults_main(argv: list[str]) -> int:
     parser.add_argument("--seed", type=int, default=4)
     parser.add_argument("--shed", action="store_true",
                         help="enable deadline-aware load shedding")
+    parser.add_argument("--failover", default="quorum",
+                        choices=["quorum", "naive"],
+                        help="partition fail-over mode under ext_partition "
+                             "(default quorum)")
     parser.add_argument("--out", default=None, metavar="FILE",
                         help="also write the JSON report to FILE")
     args = parser.parse_args(argv)
 
+    if args.scenario == "ext_partition":
+        schedule = make_partition_schedule(args.duration)
+    else:
+        schedule = make_fault_schedule(args.duration)
+    if args.describe:
+        text = json.dumps(schedule.describe(), indent=2, sort_keys=True)
+        print(text)
+        if args.out:
+            pathlib.Path(args.out).write_text(text + "\n")
+        return 0
     jobs = [make_latency_sensitive_job(f"ls{i}") for i in range(args.ls)]
     jobs += [make_bulk_analytics_job(f"ba{i}") for i in range(args.ba)]
     if not jobs:
         parser.error("need at least one job (--ls/--ba)")
-    schedule = make_fault_schedule(args.duration)
     engine = StreamEngine(
         EngineConfig(scheduler=args.scheduler, nodes=args.nodes,
                      workers_per_node=args.workers, seed=args.seed,
-                     fault_schedule=schedule, shed_expired=args.shed),
+                     fault_schedule=schedule, shed_expired=args.shed,
+                     partition_failover=args.failover,
+                     state_recovery="replay"
+                     if args.scenario == "ext_partition" else "none",
+                     record_completion_timeline=args.scenario
+                     == "ext_partition"),
         jobs,
     )
     for job in jobs:
@@ -172,12 +202,18 @@ def faults_main(argv: list[str]) -> int:
                           sizer=FixedBatchSize(1000), until=args.duration)
     engine.run(until=args.duration + 5.0)
     report = {
+        "scenario": args.scenario,
         "scheduler": args.scheduler,
         "shed_expired": args.shed,
+        "schedule": schedule.describe(),
         "fault_report": engine.metrics.fault_report(),
         "detection_latencies": engine.metrics.detection_latencies(),
         "timeline": list(engine.fault_timeline.events),
     }
+    if args.scenario == "ext_partition" and args.failover == "quorum":
+        from repro.runtime.invariants import check_single_instance
+
+        report["invariant"] = check_single_instance(engine)
     text = json.dumps(report, indent=2, sort_keys=True)
     print(text)
     if args.out:
@@ -359,11 +395,14 @@ def trace_main(argv: list[str]) -> int:
                     "Chrome-trace JSON plus a flat JSONL event log.",
     )
     parser.add_argument("scenario", nargs="?", default="mix",
-                        choices=["mix", "ext_faults", "ext_checkpoint"],
+                        choices=["mix", "ext_faults", "ext_checkpoint",
+                                 "ext_partition"],
                         help="mix = healthy tenant mix; ext_faults = the "
                              "canonical crash+loss schedule; ext_checkpoint "
                              "= the crash schedule with checkpointed state "
-                             "recovery on (default: mix)")
+                             "recovery on; ext_partition = the two-cut "
+                             "partition schedule with quorum fail-over "
+                             "(default: mix)")
     parser.add_argument("--ls", type=int, default=2,
                         help="latency-sensitive job count (default 2)")
     parser.add_argument("--ba", type=int, default=1,
@@ -409,6 +448,13 @@ def trace_main(argv: list[str]) -> int:
         overrides["fault_schedule"] = make_crash_schedule(args.duration)
         overrides["state_recovery"] = "checkpoint"
         overrides["checkpoint_interval"] = CHECKPOINT_INTERVAL
+    elif args.scenario == "ext_partition":
+        from repro.experiments.ext_partition import make_partition_schedule
+
+        overrides["fault_schedule"] = make_partition_schedule(args.duration)
+        overrides["state_recovery"] = "replay"
+        overrides["partition_failover"] = "quorum"
+        nodes = 3 if nodes is None else nodes
     nodes = 2 if nodes is None else nodes
     mix = TenantMix(ls_count=args.ls, ba_count=args.ba)
     engine = run_tenant_mix(

@@ -12,6 +12,10 @@ from repro.experiments.ext_checkpoint import make_crash_schedule, run_ext_checkp
 from repro.experiments.ext_elasticity import ReactiveScaler, run_ext_elasticity
 from repro.experiments.ext_faults import make_fault_schedule, run_ext_faults
 from repro.experiments.ext_migration import run_ext_migration
+from repro.experiments.ext_partition import (
+    make_partition_schedule,
+    run_ext_partition,
+)
 from repro.experiments.ext_starvation import run_ext_starvation
 from repro.experiments.fig01_motivation import run_fig01
 from repro.experiments.fig02_workload import run_fig02
@@ -58,11 +62,13 @@ __all__ = [
     "ReactiveScaler",
     "make_crash_schedule",
     "make_fault_schedule",
+    "make_partition_schedule",
     "run_ext_backpressure",
     "run_ext_checkpoint",
     "run_ext_elasticity",
     "run_ext_faults",
     "run_ext_migration",
+    "run_ext_partition",
     "run_ext_starvation",
     "run_tenant_mix",
 ]

@@ -223,6 +223,21 @@ class MetricsHub:
         self.messages_replayed_recovery = 0
         #: (node_id, crash_time, detection_time) per declared failure
         self.failure_detections: list[tuple[int, float, float]] = []
+        # -- partitions & quorum (stay zero without Partition faults) -----
+        self.partitions_observed = 0    # partition windows that opened
+        self.partition_heals = 0        # partition windows that closed
+        self.messages_dropped_partition = 0  # data frames severed at the cut
+        self.acks_dropped_partition = 0      # acks severed at the cut
+        self.nodes_fenced = 0           # quorum-loss fencing transitions
+        #: fail-overs a no-quorum observer wanted but was denied
+        self.failovers_suppressed_no_quorum = 0
+        self.reconciliations = 0        # heal-time migrate-home passes
+        #: operators evacuated while their old instance was still executing
+        #: (naive fail-over only; quorum mode keeps this at zero)
+        self.double_spawns = 0
+        # -- shared-link bandwidth (stay zero without link_capacity) ------
+        self.link_bytes_sent = 0.0      # Σ frame bytes serialized on uplinks
+        self.link_transfer_seconds = 0.0  # Σ serialization time paid
 
     def record_timeline_point(
         self, time: float, job: str, stage: str, operator_index: int, progress: float
@@ -327,6 +342,19 @@ class MetricsHub:
                 j.operator_exceptions for j in self._jobs.values()
             ),
             "poison_dropped": sum(j.poison_dropped for j in self._jobs.values()),
+            "partitions": {
+                "partitions_observed": self.partitions_observed,
+                "partition_heals": self.partition_heals,
+                "messages_dropped_partition": self.messages_dropped_partition,
+                "acks_dropped_partition": self.acks_dropped_partition,
+                "nodes_fenced": self.nodes_fenced,
+                "failovers_suppressed_no_quorum":
+                    self.failovers_suppressed_no_quorum,
+                "reconciliations": self.reconciliations,
+                "double_spawns": self.double_spawns,
+            },
+            "link_bytes_sent": self.link_bytes_sent,
+            "link_transfer_seconds": self.link_transfer_seconds,
         }
 
     def record_worker_busy(self, node_id: int, worker_id: int, busy_time: float) -> None:

@@ -16,6 +16,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (keep sim/ import lazy)
 SCHEDULERS = ("cameo", "orleans", "fifo")
 POLICIES = ("llf", "edf", "sjf", "constant", "token")
 STATE_RECOVERY_MODES = ("none", "replay", "checkpoint")
+PARTITION_FAILOVER_MODES = ("quorum", "naive")
+LINK_POLICIES = ("fair", "edf")
 BACKENDS = ("sim", "mp")
 MP_COST_MODES = ("sleep", "spin", "none")
 MP_INGEST_MODES = ("worker", "coordinator")
@@ -90,6 +92,31 @@ class EngineConfig:
         checkpoint_interval: cadence (seconds of simulated time) of the
             periodic asynchronous state snapshots when ``state_recovery ==
             "checkpoint"``; must be positive in that mode.
+        partition_failover: fail-over policy when the fault schedule
+            contains :class:`~repro.sim.faults.Partition` windows (no
+            effect otherwise).  ``"quorum"`` (default) installs the
+            partition-aware failure detector with per-node membership
+            views: only observers whose view holds a strict majority may
+            declare peers dead and evacuate them, and a node that loses
+            quorum fences itself (suspends execution) until the cut
+            heals — no split-brain double-spawn, with a heal-time
+            reconciliation pass migrating evacuated operators home.
+            ``"naive"`` drops the quorum gate: both sides of a cut
+            evacuate each other (the double-spawn baseline the
+            ext_partition experiment measures against).
+        link_capacity: optional shared-link bandwidth in bytes/second per
+            node uplink.  ``None`` (default) installs no bandwidth model
+            at all — transit stays propagation-only and bit-identical to
+            earlier revisions.  When set, every cross-node transfer pays
+            ``frame bytes / share`` serialization time on the source
+            node's contended uplink (see
+            :class:`~repro.sim.network.SharedLink`).
+        link_policy: how concurrent transfers share an uplink:
+            ``"fair"`` (equal shares) or ``"edf"`` (earliest-deadline-
+            first per DCoflow — frames with earlier priority-context
+            deadlines preempt; frames without contexts queue behind).
+        link_bytes_per_tuple: serialized size per tuple (bytes) used to
+            convert batches to frame sizes for the bandwidth model.
         record_trace: enable the observability plane (``repro.obs``): a
             per-hop message span recorder plus a periodic scheduler
             sampler.  Off by default — with tracing off the runtime holds
@@ -172,6 +199,10 @@ class EngineConfig:
     retransmit_backoff_cap: float = 0.8
     state_recovery: str = "none"
     checkpoint_interval: float = 0.0
+    partition_failover: str = "quorum"
+    link_capacity: Optional[float] = None
+    link_policy: str = "fair"
+    link_bytes_per_tuple: float = 64.0
     record_trace: bool = False
     trace_sample_interval: float = 0.05
     shed_expired: bool = False
@@ -248,6 +279,20 @@ class EngineConfig:
                 )
         if self.checkpoint_interval < 0:
             raise ValueError("checkpoint interval must be non-negative")
+        if self.partition_failover not in PARTITION_FAILOVER_MODES:
+            raise ValueError(
+                f"unknown partition fail-over mode {self.partition_failover!r}; "
+                f"expected {PARTITION_FAILOVER_MODES}"
+            )
+        if self.link_capacity is not None and self.link_capacity <= 0:
+            raise ValueError("link capacity must be positive")
+        if self.link_policy not in LINK_POLICIES:
+            raise ValueError(
+                f"unknown link policy {self.link_policy!r}; "
+                f"expected {LINK_POLICIES}"
+            )
+        if self.link_bytes_per_tuple <= 0:
+            raise ValueError("link bytes per tuple must be positive")
         if self.trace_sample_interval <= 0:
             raise ValueError("trace sample interval must be positive")
         if self.shed_slack < 0:

@@ -51,7 +51,12 @@ from repro.runtime.transport import Transport
 from repro.runtime.workers import Worker
 from repro.sim.faults import FaultInjector, FaultTimeline
 from repro.sim.kernel import Simulator
-from repro.sim.network import ChannelTable, ConstantDelay, JitteredDelay
+from repro.sim.network import (
+    BandwidthModel,
+    ChannelTable,
+    ConstantDelay,
+    JitteredDelay,
+)
 from repro.sim.rng import RngRegistry
 
 
@@ -163,6 +168,18 @@ class StreamEngine:
             self.transport.attach_reliable(self.reliable)
             if self.tracer is not None:
                 self.reliable.attach_tracer(self.tracer)
+        # shared-link bandwidth: installed only when a capacity is set, so
+        # capacity-free runs keep a propagation-only transit path
+        self.bandwidth: Optional[BandwidthModel] = None
+        if config.link_capacity is not None:
+            self.bandwidth = BandwidthModel(
+                config.link_capacity, config.link_policy,
+                bytes_per_tuple=config.link_bytes_per_tuple,
+                metrics=self.metrics,
+            )
+            self.transport.attach_bandwidth(self.bandwidth)
+            if self.reliable is not None:
+                self.reliable.attach_bandwidth(self.bandwidth)
         shedder = DeadlineShedder(config.shed_slack) if config.shed_expired else None
 
         cost_rng = self.rng.stream("exec-cost")
@@ -186,7 +203,12 @@ class StreamEngine:
                 self.sim, self.nodes, self._ops, self.lifecycle,
                 self.reliable, self.metrics, self.fault_timeline,
                 config.heartbeat_interval, config.failure_timeout,
-                tracer=self.tracer,
+                tracer=self.tracer, injector=self.fault_injector,
+                # quorum machinery exists only when the schedule can cut
+                # the fabric; partition-free schedules keep the legacy
+                # omniscient detector (which trivially has quorum)
+                partition_mode=(config.partition_failover
+                                if schedule.has_partitions else None),
             )
             if config.state_recovery != "none":
                 self.checkpoints = CheckpointManager(

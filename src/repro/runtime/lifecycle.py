@@ -129,6 +129,10 @@ class OperatorLifecycle:
         #: completed stage rescales and keys moved by them
         self.stage_rescales = 0
         self.keys_moved = 0
+        #: optional observer called as ``on_move(op_rt, src, dst)`` at the
+        #: instant a migration completes (the recovery layer's ownership
+        #: log hangs off this; None costs nothing)
+        self.on_move = None
 
     # ------------------------------------------------------------------
     # elastic worker pools
@@ -239,6 +243,8 @@ class OperatorLifecycle:
     def _move(self, op_rt: OperatorRuntime, dst_node: int) -> None:
         src = self._nodes[op_rt.node_id]
         dst = self._nodes[dst_node]
+        if self.on_move is not None:
+            self.on_move(op_rt, op_rt.node_id, dst_node)
         # 1. forget the operator on the source node's run queue
         src.run_queue.discard(op_rt)
         # 2. drain the mailbox into the destination discipline, preserving

@@ -53,6 +53,7 @@ class NodeRuntime:
         "sim",
         "metrics",
         "down",
+        "fenced",
         "_transport",
         "_lifecycle",
         "_contexts",
@@ -76,6 +77,9 @@ class NodeRuntime:
         self.sim = None
         self.metrics = None
         self.down = False  # fail-stop flag, driven by the RecoveryManager
+        # quorum-loss fencing (partition-aware detector): alive but not
+        # executing — arrivals are admitted, dispatch is suspended
+        self.fenced = False
         self._transport = None
         self._lifecycle = None
 
@@ -147,8 +151,8 @@ class NodeRuntime:
     # ------------------------------------------------------------------
 
     def wake_idle_worker(self) -> None:
-        if self.down:
-            return  # a crashed node schedules no work
+        if self.down or self.fenced:
+            return  # a crashed or quorum-fenced node schedules no work
         worker = self.idle_worker()
         if worker is not None:
             worker.wake_scheduled = True
@@ -156,7 +160,7 @@ class NodeRuntime:
 
     def _worker_wake(self, worker: Worker) -> None:
         worker.wake_scheduled = False
-        if worker.idle and not self.down:
+        if worker.idle and not self.down and not self.fenced:
             worker.idle = False
             self._worker_next(worker)
 

@@ -54,6 +54,8 @@ from typing import Callable, Optional
 from repro.dataflow.messages import Message
 from repro.runtime.topology import OperatorRuntime, _format_address
 
+INF = float("inf")
+
 
 class _ChannelState:
     """Both endpoints of one reliable channel (sender and inbox).
@@ -140,6 +142,7 @@ class ReliableDelivery:
         self._states: dict[tuple, _ChannelState] = {}
         self._admit: Optional[Callable] = None
         self._tracer = None
+        self._bandwidth = None
         self._retain = False
         self._unacked_count = 0
         #: high-water mark of retransmit-buffer occupancy across the run
@@ -148,6 +151,10 @@ class ReliableDelivery:
     def attach_tracer(self, tracer) -> None:
         """Install the span recorder (``record_trace`` runs only)."""
         self._tracer = tracer
+
+    def attach_bandwidth(self, bandwidth) -> None:
+        """Install the shared-link model (``link_capacity`` runs only)."""
+        self._bandwidth = bandwidth
 
     def enable_state_retention(self) -> None:
         """Switch buffer release to checkpoint-stability gating.
@@ -207,12 +214,23 @@ class ReliableDelivery:
             # gap is measured from this instant
             self._tracer.on_transmit(msg, sim.now)
         src_node, dst_node = state.src_node, state.dst_rt.node_id
+        if self._injector.severs(src_node, dst_node):
+            # partition: there is no wire — the frame vanishes before any
+            # loss draw, so the RNG stream is untouched by the cut
+            self._metrics.messages_dropped_partition += 1
+            return
         transit = self._injector.inflate_transit(
             self._delay_model.delay(src_node, dst_node)
         )
         if self._injector.drops_message(src_node, dst_node):
             self._metrics.messages_lost_network += 1
             return
+        if self._bandwidth is not None:
+            pc = msg.pc
+            transit += self._bandwidth.transfer_time(
+                sim.now, src_node, dst_node, msg.tuple_count,
+                INF if pc is None else pc.deadline,
+            )
         arrival = state.channel.deliver_time(sim.now, transit)
         sim.schedule_at_fast(arrival, self._arrive, state, msg)
 
@@ -333,6 +351,9 @@ class ReliableDelivery:
     def _send_ack(self, state: _ChannelState) -> None:
         """Cumulative (admitted, processed) ack back to the sender."""
         src_node, dst_node = state.src_node, state.dst_rt.node_id
+        if self._injector.severs(dst_node, src_node):
+            self._metrics.acks_dropped_partition += 1
+            return
         if self._injector.drops_ack(dst_node, src_node):
             self._metrics.acks_lost += 1
             return
@@ -451,6 +472,15 @@ class ReliableDelivery:
     def unacked_total(self) -> int:
         """Messages retained in retransmit buffers (not yet processed)."""
         return sum(len(s.unacked) for s in self._states.values())
+
+    def outstanding_total(self) -> int:
+        """Messages sent but not yet acknowledged as *processed* — the
+        live backlog.  Unlike :meth:`unacked_total` this ignores buffers
+        a retention mode keeps purely as replay sources, so it reaches
+        zero at quiescence even under ``state_recovery="replay"``."""
+        return sum(
+            s.next_seq - 1 - s.processed_w for s in self._states.values()
+        )
 
     def backoff_by_channel(self) -> dict[str, dict]:
         """Per-channel retransmit accounting, for channels that backed off.
@@ -587,6 +617,23 @@ class CheckpointManager:
         if op_rt.address not in self._lost:
             return False
         self._lost.discard(op_rt.address)
+        if op_rt.is_sink:
+            # A sink's only effect is the output record it hands to the
+            # runtime's recorder at processing time — an externally
+            # durable write that does not die with the node.  Its
+            # processed watermark therefore *is* its checkpoint: the
+            # respawned instance resumes from it, and rolling the
+            # frontier back would re-record outputs the outside world
+            # already saw.  Unprocessed messages still re-deliver via
+            # the fail-over retransmit path.
+            op_rt.operator.state_restore(None)
+            self._metrics.state_restores += 1
+            self._timeline.record(
+                self._sim.now, "restore",
+                f"{_format_address(op_rt.address)} resumed at its "
+                f"processed watermark (sink outputs are durable)",
+            )
+            return True
         ckpt = self._checkpoints.get(op_rt.address)
         op_rt.operator.state_restore(ckpt.state if ckpt is not None else None)
         replayed = self._reliable.rollback_receiver(
@@ -716,6 +763,181 @@ class FailureDetector:
         self._sim.schedule_fast(self._interval, self._sweep)
 
 
+class MembershipView:
+    """One node's local view of reachable peers, fed by heartbeats.
+
+    ``last_heard[p]`` is the instant this node last received a heartbeat
+    from peer ``p`` — heartbeats are carried by the same fabric as data,
+    so an active partition stops them at the cut and the two sides'
+    views diverge.  A node always hears itself.
+    """
+
+    __slots__ = ("node_id", "last_heard")
+
+    def __init__(self, node_id: int, node_ids):
+        self.node_id = node_id
+        self.last_heard = {nid: 0.0 for nid in node_ids}
+
+    def hear(self, peer: int, now: float) -> None:
+        self.last_heard[peer] = now
+
+    def reachable(self, now: float, timeout: float) -> set:
+        """Peers heard within ``timeout`` (self included unconditionally)."""
+        me = self.node_id
+        return {nid for nid, last in self.last_heard.items()
+                if nid == me or now - last <= timeout}
+
+    def has_quorum(self, now: float, timeout: float, cluster_size: int) -> bool:
+        """Strict majority of the *full* cluster is reachable."""
+        return 2 * len(self.reachable(now, timeout)) > cluster_size
+
+
+class PartitionAwareFailureDetector:
+    """Per-observer heartbeat views with quorum-gated death declarations.
+
+    Installed instead of the global :class:`FailureDetector` whenever the
+    schedule contains :class:`~repro.sim.faults.Partition` windows.  Each
+    node owns a :class:`MembershipView`; a heartbeat deposits into an
+    observer's view only when the emitter→observer link is not severed,
+    so the sides of a cut stop hearing each other while intra-side views
+    stay fresh.
+
+    Every sweep (same cadence as the legacy detector) runs two passes in
+    deterministic node-id order:
+
+    1. **Fencing** (quorum mode only): a live node whose view lost its
+       strict majority fences itself — it stops executing and cannot be
+       a fail-over target — and unfences once quorum returns.
+    2. **Declarations**: an observer that times out a peer declares it
+       dead *only if the observer's own view has quorum*; a no-quorum
+       observer's declaration is suppressed and counted.  In ``naive``
+       mode the gate is absent — both sides of a cut evacuate each other,
+       which is exactly the split-brain double-spawn the experiment
+       measures.  Any observer hearing a declared-dead peer again revives
+       it (heal detection).
+    """
+
+    def __init__(self, sim, nodes: list, interval: float, timeout: float,
+                 injector, metrics, timeline, quorum: bool,
+                 on_failure: Callable[[int], None],
+                 on_alive: Optional[Callable[[int], None]] = None,
+                 on_fence: Optional[Callable[[int], None]] = None,
+                 on_unfence: Optional[Callable[[int], None]] = None):
+        if interval <= 0 or timeout < interval:
+            raise ValueError("need 0 < heartbeat interval <= timeout")
+        self._sim = sim
+        self._nodes = nodes
+        self._interval = interval
+        self._timeout = timeout
+        self._injector = injector
+        self._metrics = metrics
+        self._timeline = timeline
+        self._quorum = quorum
+        self._on_failure = on_failure
+        self._on_alive = on_alive
+        self._on_fence = on_fence
+        self._on_unfence = on_unfence
+        node_ids = [node.node_id for node in nodes]
+        self.views = {nid: MembershipView(nid, node_ids) for nid in node_ids}
+        self.failed: set[int] = set()
+        self.failures_declared = 0
+        #: (observer, peer) pairs already declared; cleared on re-hearing
+        self._declared: set[tuple[int, int]] = set()
+        #: (observer, peer) suppressions already counted this episode
+        self._suppressed: set[tuple[int, int]] = set()
+
+    def start(self) -> None:
+        for node in self._nodes:
+            self._sim.schedule_fast(self._interval, self._emit, node)
+        self._sim.schedule_fast(self._interval, self._sweep)
+
+    def reset_view(self, node_id: int) -> None:
+        """Refresh a restarted node's view so it does not declare the
+        whole cluster dead off pre-crash staleness."""
+        now = self._sim.now
+        view = self.views[node_id]
+        for peer in view.last_heard:
+            view.last_heard[peer] = now
+
+    def _emit(self, node) -> None:
+        if not node.down:
+            now = self._sim.now
+            nid = node.node_id
+            severs = self._injector.severs
+            for view in self.views.values():
+                oid = view.node_id
+                if oid == nid:
+                    view.hear(nid, now)
+                    continue
+                observer = self._nodes[oid]
+                # a down observer's memory is frozen; a severed link
+                # carries no heartbeat
+                if not observer.down and not severs(nid, oid):
+                    view.hear(nid, now)
+        self._sim.schedule_fast(self._interval, self._emit, node)
+
+    def _sweep(self) -> None:
+        now = self._sim.now
+        timeout = self._timeout
+        cluster = len(self._nodes)
+        if self._quorum:
+            # pass 1: self-fencing on quorum loss (before any declaration,
+            # so a majority-side takeover never races a still-executing
+            # minority instance)
+            for node in self._nodes:
+                if node.down:
+                    continue
+                quorate = self.views[node.node_id].has_quorum(
+                    now, timeout, cluster)
+                if not quorate and not node.fenced:
+                    if self._on_fence is not None:
+                        self._on_fence(node.node_id)
+                elif quorate and node.fenced:
+                    if self._on_unfence is not None:
+                        self._on_unfence(node.node_id)
+        # pass 2: declarations and revivals, in node-id order
+        for node in self._nodes:
+            if node.down:
+                continue
+            oid = node.node_id
+            view = self.views[oid]
+            quorate = (not self._quorum) or view.has_quorum(
+                now, timeout, cluster)
+            last_heard = view.last_heard
+            for peer in self._nodes:
+                pid = peer.node_id
+                if pid == oid:
+                    continue
+                key = (oid, pid)
+                if now - last_heard[pid] <= timeout:
+                    self._declared.discard(key)
+                    self._suppressed.discard(key)
+                    if pid in self.failed:
+                        # direct evidence of life trumps any past verdict
+                        self.failed.discard(pid)
+                        if self._on_alive is not None:
+                            self._on_alive(pid)
+                    continue
+                if key in self._declared:
+                    continue
+                if not quorate:
+                    if key not in self._suppressed:
+                        self._suppressed.add(key)
+                        self._metrics.failovers_suppressed_no_quorum += 1
+                        self._timeline.record(
+                            now, "suppressed",
+                            f"node {oid} (no quorum) suppressed fail-over "
+                            f"of node {pid}",
+                        )
+                    continue
+                self._declared.add(key)
+                if pid not in self.failed:
+                    self.failed.add(pid)
+                    self.failures_declared += 1
+                    self._on_failure(pid)
+        self._sim.schedule_fast(self._interval, self._sweep)
+
+
 class RecoveryManager:
     """Executes crash/restart events and drives fail-over on detection.
 
@@ -729,7 +951,8 @@ class RecoveryManager:
 
     def __init__(self, sim, nodes: list, ops: dict, lifecycle, reliable,
                  metrics, timeline, heartbeat_interval: float,
-                 failure_timeout: float, tracer=None):
+                 failure_timeout: float, tracer=None,
+                 injector=None, partition_mode: Optional[str] = None):
         self._sim = sim
         self._nodes = nodes
         self._ops = ops
@@ -741,10 +964,31 @@ class RecoveryManager:
         self._crash_time: dict[int, float] = {}
         self._evacuated: dict[int, list[OperatorRuntime]] = {}
         self._checkpoints: Optional[CheckpointManager] = None
-        self.detector = FailureDetector(
-            sim, nodes, heartbeat_interval, failure_timeout,
-            on_failure=self._on_failure, on_alive=self._on_alive,
-        )
+        #: None (no partitions in the schedule), "quorum" or "naive"
+        self._partition_mode = partition_mode
+        #: where every operator started (the invariant checker's anchor)
+        self.initial_ownership = {addr: op.node_id for addr, op in ops.items()}
+        #: (time, address, from_node, to_node, reason) per completed move
+        self.ownership_log: list[tuple] = []
+        #: (time, node_id, "fence" | "unfence") transitions
+        self.fence_log: list[tuple] = []
+        self._move_reason = "migrate"
+        lifecycle.on_move = self._record_move
+        if partition_mode is None:
+            self.detector = FailureDetector(
+                sim, nodes, heartbeat_interval, failure_timeout,
+                on_failure=self._on_failure, on_alive=self._on_alive,
+            )
+        else:
+            if injector is None:
+                raise ValueError("partition-aware recovery needs the injector")
+            self.detector = PartitionAwareFailureDetector(
+                sim, nodes, heartbeat_interval, failure_timeout,
+                injector, metrics, timeline,
+                quorum=(partition_mode == "quorum"),
+                on_failure=self._on_failure, on_alive=self._on_alive,
+                on_fence=self._fence, on_unfence=self._unfence,
+            )
 
     def attach_checkpoints(self, checkpoints: CheckpointManager) -> None:
         """Install the state-recovery collaborator (``state_recovery !=
@@ -759,7 +1003,31 @@ class RecoveryManager:
             self._sim.schedule_at(crash.start, self.crash, crash.node)
             if crash.end != float("inf"):
                 self._sim.schedule_at(crash.end, self.restart, crash.node)
+        for part in schedule.partitions:
+            # accounting only: the cut itself is a pure point query on the
+            # injector, these events just mark the window in the timeline
+            self._sim.schedule_at(part.start, self._partition_started, part)
+            if part.end != float("inf"):
+                self._sim.schedule_at(part.end, self._partition_healed, part)
         self.detector.start()
+
+    def _record_move(self, op_rt, src_node: int, dst_node: int) -> None:
+        self.ownership_log.append(
+            (self._sim.now, op_rt.address, src_node, dst_node,
+             self._move_reason)
+        )
+
+    def _partition_started(self, part) -> None:
+        self._metrics.partitions_observed += 1
+        groups = "/".join("{" + ",".join(map(str, g)) + "}"
+                          for g in part.groups)
+        self._timeline.record(self._sim.now, "partition",
+                              f"cut opened: groups {groups} vs rest")
+
+    def _partition_healed(self, part) -> None:
+        self._metrics.partition_heals += 1
+        self._timeline.record(self._sim.now, "heal",
+                              "cut closed: fabric whole again")
 
     # ------------------------------------------------------------------
     # crash / restart (the fault side)
@@ -774,6 +1042,24 @@ class RecoveryManager:
         node.down = True
         self._crash_time[node_id] = now
         self._metrics.crashes += 1
+        lost = self._halt_execution(node_id)
+        self._metrics.messages_lost_crash += lost
+        self._reliable.on_node_crash(node_id)
+        if self._checkpoints is not None:
+            # fail-stop is honest about memory: every operator on the node
+            # loses its in-memory state (restored at fail-over or restart)
+            self._checkpoints.mark_lost_node(node_id)
+        self._timeline.record(now, "crash", f"node {node_id} down "
+                                            f"({lost} queued messages lost)")
+
+    def _halt_execution(self, node_id: int) -> int:
+        """Stop execution on ``node_id`` as a fail-stop would: reset its
+        workers (any in-flight completion event becomes stale and is
+        discarded by the dispatch loop's ``current_op`` guard) and drop
+        queued work.  Returns the number of queued messages dropped —
+        all of them survive in upstream retransmit buffers."""
+        node = self._nodes[node_id]
+        now = self._sim.now
         for worker in node.workers:
             if not worker.idle:
                 # in-flight quantum dies with the node; the stale completion
@@ -797,14 +1083,51 @@ class RecoveryManager:
                     tracer.on_lost_crash(dead, now)
             op_rt.blocked.clear()
             node.run_queue.discard(op_rt)
+        return lost
+
+    # ------------------------------------------------------------------
+    # quorum fencing (partition-aware detector only)
+    # ------------------------------------------------------------------
+
+    def _fence(self, node_id: int) -> None:
+        """Self-fence a live node whose membership view lost quorum.
+
+        The node aborts queued and in-flight work exactly like a crash —
+        everything unprocessed survives upstream and will be replayed —
+        but unlike a crash its memory (operator state, watermarks) stays
+        intact, so a heal before any takeover resumes losslessly.  While
+        fenced the node admits arrivals but executes nothing and cannot
+        be a fail-over target."""
+        node = self._nodes[node_id]
+        if node.down or node.fenced:
+            return
+        now = self._sim.now
+        node.fenced = True
+        self._metrics.nodes_fenced += 1
+        self.fence_log.append((now, node_id, "fence"))
+        lost = self._halt_execution(node_id)
         self._metrics.messages_lost_crash += lost
+        # admitted-but-unprocessed work was dropped with the mailboxes:
+        # roll the delivery frontier back so replays re-admit it
         self._reliable.on_node_crash(node_id)
-        if self._checkpoints is not None:
-            # fail-stop is honest about memory: every operator on the node
-            # loses its in-memory state (restored at fail-over or restart)
-            self._checkpoints.mark_lost_node(node_id)
-        self._timeline.record(now, "crash", f"node {node_id} down "
-                                            f"({lost} queued messages lost)")
+        self._timeline.record(
+            now, "fence",
+            f"node {node_id} lost quorum; execution suspended "
+            f"({lost} queued messages parked for replay)",
+        )
+
+    def _unfence(self, node_id: int) -> None:
+        node = self._nodes[node_id]
+        if not node.fenced:
+            return
+        now = self._sim.now
+        node.fenced = False
+        self.fence_log.append((now, node_id, "unfence"))
+        self._timeline.record(now, "unfence",
+                              f"node {node_id} regained quorum; resuming")
+        # wake the pool: arrivals admitted during the fence are waiting
+        for _ in node.workers:
+            node.wake_idle_worker()
 
     def restart(self, node_id: int) -> None:
         """Bring ``node_id`` back and rebalance: operators evacuated from it
@@ -819,9 +1142,16 @@ class RecoveryManager:
             # a crash the detector never saw: the node's operators were not
             # evacuated, but their in-memory state is gone all the same
             self._checkpoints.restore_on_node(node_id)
+        reset_view = getattr(self.detector, "reset_view", None)
+        if reset_view is not None:
+            # a rebooted node must not declare the cluster dead off its
+            # frozen pre-crash membership view
+            reset_view(node_id)
         returned = self._evacuated.pop(node_id, [])
+        self._move_reason = "restart"
         for op_rt in returned:
             self._lifecycle.migrate(op_rt, node_id)
+        self._move_reason = "migrate"
         self._timeline.record(
             self._sim.now, "restart",
             f"node {node_id} up ({len(returned)} operators migrating home)",
@@ -833,12 +1163,40 @@ class RecoveryManager:
 
     def _on_failure(self, node_id: int) -> None:
         now = self._sim.now
-        crashed_at = self._crash_time.get(node_id, now)
-        self._metrics.failure_detections.append((node_id, crashed_at, now))
-        survivors = [n.node_id for n in self._nodes if not n.down]
+        node = self._nodes[node_id]
+        alive = not node.down
+        double_spawn = False
+        if alive:
+            # partition takeover: the declaring side cannot reach the
+            # node, so from the cluster's perspective this is a logical
+            # crash — the node's mailboxes are unreachable and the new
+            # instances must start from replay.  Under quorum gating the
+            # victim is always already fenced (pass 1 of the same sweep),
+            # so exactly one instance executes at any instant; a naive
+            # declaration takes over a still-executing node instead.
+            if self._partition_mode == "quorum" and not node.fenced:
+                raise RuntimeError(
+                    f"split-brain: quorum fail-over would double-spawn "
+                    f"operators of live unfenced node {node_id}"
+                )
+            double_spawn = not node.fenced
+            lost = self._halt_execution(node_id)
+            self._metrics.messages_lost_crash += lost
+            self._reliable.on_node_crash(node_id)
+            if self._checkpoints is not None:
+                # the majority cannot read minority memory: state restarts
+                # from the last checkpoint (or replay) on the new home
+                self._checkpoints.mark_lost_node(node_id)
+        else:
+            crashed_at = self._crash_time.get(node_id, now)
+            self._metrics.failure_detections.append((node_id, crashed_at, now))
+        survivors = [n.node_id for n in self._nodes
+                     if not n.down and not n.fenced and n.node_id != node_id]
         if not survivors:  # validate_cluster forbids this; defensive only
             return
+        self._move_reason = "failover"
         moved = self._lifecycle.evacuate(node_id, survivors)
+        self._move_reason = "migrate"
         self._evacuated[node_id] = moved
         for op_rt in moved:
             self._reliable.on_failover(op_rt)
@@ -847,12 +1205,46 @@ class RecoveryManager:
             # the last checkpoint and roll the delivery frontier back to it
             for op_rt in moved:
                 self._checkpoints.restore(op_rt)
-        self._timeline.record(
-            now, "failover",
-            f"node {node_id} declared dead after {now - crashed_at:.3f}s; "
-            f"{len(moved)} operators respawned on {survivors}",
-        )
+        if double_spawn:
+            self._metrics.double_spawns += len(moved)
+            self._timeline.record(
+                now, "double-spawn",
+                f"naive fail-over evacuated live node {node_id}: "
+                f"{len(moved)} operators now logically doubled",
+            )
+        if alive:
+            self._timeline.record(
+                now, "failover",
+                f"unreachable node {node_id} declared dead; "
+                f"{len(moved)} operators respawned on {survivors}",
+            )
+        else:
+            crashed_at = self._crash_time.get(node_id, now)
+            self._timeline.record(
+                now, "failover",
+                f"node {node_id} declared dead after {now - crashed_at:.3f}s; "
+                f"{len(moved)} operators respawned on {survivors}",
+            )
 
     def _on_alive(self, node_id: int) -> None:
-        self._timeline.record(self._sim.now, "alive",
+        now = self._sim.now
+        node = self._nodes[node_id]
+        if self._partition_mode == "quorum" and not node.down:
+            returned = self._evacuated.pop(node_id, [])
+            if returned:
+                # heal-time reconciliation: the re-admitted node gets its
+                # operators back gracefully (state and mailboxes move with
+                # them); go-back-N backlogs replay in seq order regardless
+                self._move_reason = "reconcile"
+                for op_rt in returned:
+                    self._lifecycle.migrate(op_rt, node_id)
+                self._move_reason = "migrate"
+                self._metrics.reconciliations += 1
+                self._timeline.record(
+                    now, "reconcile",
+                    f"node {node_id} re-admitted; {len(returned)} operators "
+                    f"migrating home",
+                )
+                return
+        self._timeline.record(now, "alive",
                               f"node {node_id} heartbeating again")

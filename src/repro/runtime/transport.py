@@ -48,6 +48,7 @@ class Transport:
         "_ingest_cache",
         "_reliable",
         "_tracer",
+        "_bandwidth",
     )
 
     def __init__(
@@ -80,6 +81,16 @@ class Transport:
         self._ingest_cache: dict = {}
         self._reliable = None
         self._tracer = None
+        self._bandwidth = None
+
+    def attach_bandwidth(self, bandwidth) -> None:
+        """Install the shared-link model (``link_capacity`` runs only).
+
+        Cross-node sends then pay a serialization time on the source
+        node's contended uplink on top of the propagation delay.  When
+        the reliable layer is installed it charges bandwidth itself (per
+        wire attempt, so retransmissions contend too)."""
+        self._bandwidth = bandwidth
 
     def attach_tracer(self, tracer) -> None:
         """Install the span recorder (``record_trace`` runs only).
@@ -310,6 +321,11 @@ class Transport:
             return
         if transit is None:
             transit = self._delay_model.delay(src_rt.node_id, dst_rt.node_id)
+        if self._bandwidth is not None:
+            transit += self._bandwidth.transfer_time(
+                now, src_rt.node_id, dst_rt.node_id, len(batch),
+                float("inf") if pc is None else pc.deadline,
+            )
         arrival = channel.deliver_time(now, transit)
         self.sim.schedule_at_fast(arrival, self.deliver, dst_rt, out, worker)
 

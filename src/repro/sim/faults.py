@@ -3,7 +3,8 @@
 Cameo's evaluation assumes a healthy cluster; this module is the missing
 adversary.  A :class:`FaultSchedule` describes *what goes wrong and when*
 — node crash/restart windows, per-channel message loss, transit delay
-spikes, and operator exception injection — as plain data, independent of
+spikes, operator exception injection, and network partitions (nodes
+alive yet mutually unreachable) — as plain data, independent of
 any engine instance.  The same schedule object can therefore be replayed
 against every scheduler under comparison, exactly like the workload
 itself (see :mod:`repro.sim.rng`: the fault stream is a named substream,
@@ -115,6 +116,64 @@ class DelaySpike:
 
 
 @dataclass(frozen=True)
+class Partition:
+    """Network partition during ``[start, end)``: nodes stay alive but
+    links *between* groups carry nothing — data frames, acks and
+    heartbeats all drop at the cut.
+
+    ``groups`` is a tuple of disjoint node-id groups.  Nodes not listed
+    in any group form one implicit "rest" group, so ``groups=((2,),)``
+    on a three-node cluster isolates node 2 from ``{0, 1}``.  Traffic
+    *within* a group is unaffected, and clients (node id ``-1``) reach
+    every node — a partition severs the inter-node fabric only.
+
+    Partitions are pure time-window predicates: no RNG draw is involved,
+    so adding an empty partition list can never shift the randomness any
+    other fault model sees.
+    """
+
+    start: float
+    end: float = INF
+    groups: tuple = ()
+
+    def __post_init__(self):
+        _check_window(self.start, self.end, "partition")
+        canonical = tuple(tuple(int(n) for n in group) for group in self.groups)
+        object.__setattr__(self, "groups", canonical)
+        if not canonical:
+            raise ValueError("partition needs at least one node group")
+        seen: set[int] = set()
+        for group in canonical:
+            if not group:
+                raise ValueError("partition groups must be non-empty")
+            for node in group:
+                if node < 0:
+                    raise ValueError("partition groups need non-negative node ids")
+                if node in seen:
+                    raise ValueError(
+                        f"partition groups must be disjoint: node {node} "
+                        "appears twice"
+                    )
+                seen.add(node)
+
+    def side_of(self, node: int) -> int:
+        """Index of the explicit group holding ``node``; -1 for the
+        implicit rest group."""
+        for i, group in enumerate(self.groups):
+            if node in group:
+                return i
+        return -1
+
+    def severs(self, now: float, src_node: int, dst_node: int) -> bool:
+        """True when this cut is active and ``src -> dst`` crosses it."""
+        if not (self.start <= now < self.end):
+            return False
+        if src_node < 0 or dst_node < 0:
+            return False  # client links are out of scope
+        return self.side_of(src_node) != self.side_of(dst_node)
+
+
+@dataclass(frozen=True)
 class OperatorExceptions:
     """Executions of matching operators throw with probability ``rate``.
 
@@ -159,6 +218,7 @@ class FaultSchedule:
     losses: tuple = ()
     delay_spikes: tuple = ()
     exceptions: tuple = ()
+    partitions: tuple = ()
 
     def __post_init__(self):
         # accept any iterable, store canonical tuples (dataclass is frozen)
@@ -166,6 +226,7 @@ class FaultSchedule:
         object.__setattr__(self, "losses", tuple(self.losses))
         object.__setattr__(self, "delay_spikes", tuple(self.delay_spikes))
         object.__setattr__(self, "exceptions", tuple(self.exceptions))
+        object.__setattr__(self, "partitions", tuple(self.partitions))
         for crash in self.crashes:
             if not isinstance(crash, CrashWindow):
                 raise TypeError(f"expected CrashWindow, got {type(crash).__name__}")
@@ -178,6 +239,9 @@ class FaultSchedule:
         for exc in self.exceptions:
             if not isinstance(exc, OperatorExceptions):
                 raise TypeError(f"expected OperatorExceptions, got {type(exc).__name__}")
+        for part in self.partitions:
+            if not isinstance(part, Partition):
+                raise TypeError(f"expected Partition, got {type(part).__name__}")
         overlapping: dict[int, list[CrashWindow]] = {}
         for crash in self.crashes:
             for other in overlapping.setdefault(crash.node, []):
@@ -191,11 +255,48 @@ class FaultSchedule:
     def enabled(self) -> bool:
         """True when the schedule injects anything at all."""
         return bool(self.crashes or self.losses or self.delay_spikes
-                    or self.exceptions)
+                    or self.exceptions or self.partitions)
 
     @property
     def has_crashes(self) -> bool:
         return bool(self.crashes)
+
+    @property
+    def has_partitions(self) -> bool:
+        return bool(self.partitions)
+
+    def describe(self) -> dict:
+        """JSON-renderable summary of every fault window (``repro faults
+        --describe``)."""
+        return {
+            "enabled": self.enabled,
+            "crashes": [
+                {"node": c.node, "start": c.start,
+                 "end": None if c.end == INF else c.end}
+                for c in self.crashes
+            ],
+            "losses": [
+                {"rate": loss.rate, "scope": loss.scope, "start": loss.start,
+                 "end": None if loss.end == INF else loss.end}
+                for loss in self.losses
+            ],
+            "delay_spikes": [
+                {"start": s.start, "end": None if s.end == INF else s.end,
+                 "factor": s.factor, "extra": s.extra}
+                for s in self.delay_spikes
+            ],
+            "exceptions": [
+                {"rate": e.rate, "job": e.job, "stage": e.stage,
+                 "start": e.start, "end": None if e.end == INF else e.end,
+                 "max_retries": e.max_retries}
+                for e in self.exceptions
+            ],
+            "partitions": [
+                {"start": p.start, "end": None if p.end == INF else p.end,
+                 "groups": [list(g) for g in p.groups]}
+                for p in self.partitions
+            ],
+        }
 
     def validate_cluster(self, node_count: int) -> None:
         """Reject schedules that reference nodes the cluster doesn't have,
@@ -206,6 +307,14 @@ class FaultSchedule:
                     f"crash window targets node {crash.node} but the cluster "
                     f"has {node_count} nodes"
                 )
+        for part in self.partitions:
+            for group in part.groups:
+                for node in group:
+                    if node >= node_count:
+                        raise ValueError(
+                            f"partition group references node {node} but the "
+                            f"cluster has {node_count} nodes"
+                        )
         boundaries = sorted(
             {c.start for c in self.crashes} | {c.end for c in self.crashes if c.end < INF}
         )
@@ -241,6 +350,19 @@ class FaultInjector:
         self.exceptions_injected = 0
 
     # -- channel queries ----------------------------------------------------
+
+    def severs(self, src_node: int, dst_node: int) -> bool:
+        """True when an active partition cuts the ``src -> dst`` link now.
+
+        Pure point query — no RNG draw — so partition checks never shift
+        the loss/exception randomness, and an empty partition list is
+        exactly as inert as no partition support at all.
+        """
+        now = self._clock()
+        for part in self.schedule.partitions:
+            if part.severs(now, src_node, dst_node):
+                return True
+        return False
 
     def _loss_rate(self, now: float, src_node: int, dst_node: int) -> float:
         rate = 0.0

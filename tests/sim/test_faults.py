@@ -13,6 +13,7 @@ from repro.sim.faults import (
     FaultSchedule,
     FaultTimeline,
     OperatorExceptions,
+    Partition,
 )
 
 
@@ -170,6 +171,114 @@ class TestFaultInjector:
         injector, _ = make_injector(schedule)
         assert injector.max_retries(OpAddress("ls0", "agg", 0)) == 5
         assert injector.max_retries(OpAddress("ba0", "agg", 0)) == 5
+
+
+class TestPartition:
+    def test_defaults_to_never_healing(self):
+        assert Partition(start=1.0, groups=[(0,)]).end == INF
+
+    def test_rejects_empty_groups(self):
+        with pytest.raises(ValueError):
+            Partition(start=0.0, end=1.0, groups=[])
+        with pytest.raises(ValueError):
+            Partition(start=0.0, end=1.0, groups=[()])
+
+    def test_rejects_overlapping_groups(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            Partition(start=0.0, end=1.0, groups=[(0, 1), (1, 2)])
+
+    def test_rejects_negative_node(self):
+        with pytest.raises(ValueError):
+            Partition(start=0.0, end=1.0, groups=[(-1,)])
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            Partition(start=2.0, end=2.0, groups=[(0,)])
+
+    def test_canonicalizes_groups_to_tuples(self):
+        cut = Partition(start=0.0, end=1.0, groups=[[2, 1]])
+        assert cut.groups == ((2, 1),)
+
+    def test_side_of_uses_implicit_rest_group(self):
+        cut = Partition(start=0.0, end=1.0, groups=[(2,)])
+        assert cut.side_of(2) == 0
+        assert cut.side_of(0) == cut.side_of(1) == -1
+
+    def test_severs_cross_group_inside_window_only(self):
+        cut = Partition(start=1.0, end=2.0, groups=[(2,)])
+        assert cut.severs(1.5, 0, 2)
+        assert cut.severs(1.5, 2, 1)
+        assert not cut.severs(1.5, 0, 1)  # same implicit side
+        assert not cut.severs(0.5, 0, 2)  # before the window
+        assert not cut.severs(2.0, 0, 2)  # end-exclusive
+
+    def test_never_severs_client_links(self):
+        cut = Partition(start=0.0, end=10.0, groups=[(0,)])
+        assert not cut.severs(1.0, -1, 0)
+        assert not cut.severs(1.0, 0, -1)
+
+    def test_three_way_split(self):
+        cut = Partition(start=0.0, end=1.0, groups=[(0,), (1,)])
+        assert cut.severs(0.5, 0, 1)
+        assert cut.severs(0.5, 0, 2)
+        assert cut.severs(0.5, 1, 2)
+
+
+class TestPartitionSchedule:
+    def test_partitions_enable_the_schedule(self):
+        schedule = FaultSchedule(
+            partitions=[Partition(start=1.0, end=2.0, groups=[(0,)])])
+        assert schedule.enabled
+        assert schedule.has_partitions
+        assert not FaultSchedule().has_partitions
+
+    def test_rejects_wrong_types(self):
+        with pytest.raises(TypeError):
+            FaultSchedule(partitions=[ChannelLoss(rate=0.1)])
+
+    def test_validate_cluster_rejects_unknown_node(self):
+        schedule = FaultSchedule(
+            partitions=[Partition(start=1.0, end=2.0, groups=[(5,)])])
+        with pytest.raises(ValueError, match="node 5"):
+            schedule.validate_cluster(3)
+
+    def test_describe_lists_partition_windows(self):
+        schedule = FaultSchedule(
+            partitions=[Partition(start=1.0, groups=[(2,)])])
+        described = schedule.describe()
+        assert described["enabled"]
+        [cut] = described["partitions"]
+        assert cut["start"] == 1.0
+        assert cut["end"] is None  # INF renders as null
+        assert cut["groups"] == [[2]]
+
+    def test_describe_empty_schedule(self):
+        described = FaultSchedule().describe()
+        assert not described["enabled"]
+        assert described["partitions"] == []
+
+    def test_injector_severs_is_a_pure_window_query(self):
+        schedule = FaultSchedule(
+            partitions=[Partition(start=1.0, end=2.0, groups=[(2,)])])
+        injector, clock = make_injector(schedule)
+        assert not injector.severs(0, 2)
+        clock[0] = 1.5
+        assert injector.severs(0, 2)
+        assert not injector.severs(0, 1)
+        clock[0] = 2.5
+        assert not injector.severs(0, 2)
+
+    def test_severs_draws_no_randomness(self):
+        schedule = FaultSchedule(
+            partitions=[Partition(start=0.0, end=10.0, groups=[(1,)])],
+            losses=[ChannelLoss(rate=0.3, scope="all")])
+        a, _ = make_injector(schedule, seed=7)
+        b, _ = make_injector(schedule, seed=7)
+        for _ in range(100):
+            a.severs(0, 1)  # interleave partition checks on one side only
+        pattern_a = [a.drops_message(0, 1) for _ in range(200)]
+        pattern_b = [b.drops_message(0, 1) for _ in range(200)]
+        assert pattern_a == pattern_b
 
 
 class TestFaultTimeline:
