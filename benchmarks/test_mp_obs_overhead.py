@@ -1,0 +1,105 @@
+"""mp-backend observability overhead: off must cost (nearly) nothing.
+
+Companion to ``test_obs_overhead.py`` for the process-backed path.  Two
+claims:
+
+* **Structural** — with ``record_trace=False`` and telemetry off, an
+  :class:`~repro.runtime.mp.worker.MpWorker` holds ``None`` in every
+  observability slot (worker recorder, transport hook, reliable-delivery
+  hook, telemetry buffer), the coordinator performs no CLOCK exchange,
+  and the engine exposes no tracer/telemetry/clock.  The hot path gains
+  only dead ``is None`` branches.
+* **Temporal** — a traced run of the same flooded workload (cost
+  realization off, so the span machinery is the largest relative cost it
+  will ever be) stays within a generous wall-time multiple of the
+  untraced run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.common import TenantMix, run_tenant_mix
+from repro.runtime.config import EngineConfig
+from repro.runtime.mp.worker import MpWorker
+
+
+def _mix() -> TenantMix:
+    return TenantMix(ls_count=1, ba_count=1, ls_sources=2, ba_sources=2,
+                     tuples_per_msg=200)
+
+
+def _timed_mp(trace: bool):
+    start = time.perf_counter()
+    engine = run_tenant_mix(
+        "cameo", _mix(), duration=3.0, drain=1.0, nodes=2,
+        workers_per_node=1, seed=7,
+        config_overrides={
+            "backend": "mp",
+            "mp_cost_mode": "none",
+            "mp_realtime": False,
+            "record_trace": trace,
+        },
+    )
+    elapsed = time.perf_counter() - start
+    return engine, elapsed, engine.metrics.total_messages
+
+
+def test_untraced_worker_has_no_observability_residue():
+    """Construct a worker in-process: every obs slot must be None."""
+    config = EngineConfig(backend="mp", nodes=2, workers_per_node=1)
+    assert config.record_trace is False
+    assert config.mp_telemetry_enabled is False
+    jobs = _mix().build_jobs()
+    worker = MpWorker(0, config, jobs)
+    assert worker._tracer is None
+    assert worker.transport._tracer is None
+    assert worker._reliable._tracer is None
+    assert worker._telemetry is None
+    assert worker._tm_interval is None
+
+
+def test_traced_worker_holds_recorder_and_buffer():
+    config = EngineConfig(backend="mp", nodes=2, workers_per_node=1,
+                          record_trace=True)
+    jobs = _mix().build_jobs()
+    worker = MpWorker(0, config, jobs)
+    assert worker._tracer is not None
+    assert worker.transport._tracer is worker._tracer
+    assert worker._reliable._tracer is worker._tracer
+    assert worker._telemetry == []  # telemetry follows record_trace
+    assert worker._tm_interval == config.mp_telemetry_interval
+
+
+def test_untraced_mp_run_exposes_no_obs_surface(benchmark):
+    engine, seconds, messages = benchmark.pedantic(
+        lambda: _timed_mp(False), rounds=1, iterations=1
+    )
+    assert engine.tracer is None
+    assert engine.telemetry is None
+    assert engine.clock is None
+    assert engine.process_map is None
+    print(f"\nmp tracing off: {messages} messages in {seconds:.3f}s "
+          f"({seconds / messages * 1e6:.1f} us/msg)")
+    assert messages > 100
+
+
+def test_traced_mp_run_overhead_is_bounded(benchmark):
+    _, base_seconds, base_messages = _timed_mp(False)
+    engine, traced_seconds, traced_messages = benchmark.pedantic(
+        lambda: _timed_mp(True), rounds=1, iterations=1
+    )
+    # tracing may not change what the run computes
+    assert traced_messages == base_messages
+    assert len(engine.tracer.spans) > 0
+    ratio = traced_seconds / base_seconds
+    print(f"\nmp tracing on: {traced_seconds:.3f}s vs off "
+          f"{base_seconds:.3f}s (x{ratio:.2f}, "
+          f"{len(engine.tracer.spans)} spans, "
+          f"{len(engine.telemetry)} telemetry samples, "
+          f"skew bound {engine.clock.skew_bound * 1e6:.1f} us)")
+    # span parts + telemetry ride existing heartbeat flushes; the clock
+    # exchange is 5 round trips per worker at startup.  Generous bound
+    # for noisy CI machines: the mp floor is process startup + barriers,
+    # so even a large relative hit on the dispatch loop stays small here.
+    assert ratio < 3.0

@@ -395,18 +395,26 @@ def trace_main(argv: list[str]) -> int:
                     "Chrome-trace JSON plus a flat JSONL event log.",
     )
     parser.add_argument("scenario", nargs="?", default="mix",
-                        choices=["mix", "ext_faults", "ext_checkpoint",
-                                 "ext_partition"],
-                        help="mix = healthy tenant mix; ext_faults = the "
-                             "canonical crash+loss schedule; ext_checkpoint "
-                             "= the crash schedule with checkpointed state "
-                             "recovery on; ext_partition = the two-cut "
-                             "partition schedule with quorum fail-over "
-                             "(default: mix)")
-    parser.add_argument("--ls", type=int, default=2,
-                        help="latency-sensitive job count (default 2)")
-    parser.add_argument("--ba", type=int, default=1,
-                        help="bulk-analytics job count (default 1)")
+                        choices=["mix", "fig08a", "ext_faults",
+                                 "ext_checkpoint", "ext_partition"],
+                        help="mix = healthy tenant mix; fig08a = the Fig. 8a "
+                             "multi-tenant operating point (4 LS + 4 BA "
+                             "jobs); ext_faults = the canonical crash+loss "
+                             "schedule; ext_checkpoint = the crash schedule "
+                             "with checkpointed state recovery on; "
+                             "ext_partition = the two-cut partition schedule "
+                             "with quorum fail-over (default: mix)")
+    parser.add_argument("--backend", default="sim", choices=["sim", "mp"],
+                        help="sim = discrete-event simulation (default); mp "
+                             "= real worker processes with wall-clock spans "
+                             "merged across process boundaries (supports "
+                             "mix, fig08a and ext_faults)")
+    parser.add_argument("--ls", type=int, default=None,
+                        help="latency-sensitive job count "
+                             "(default 2; 4 under fig08a)")
+    parser.add_argument("--ba", type=int, default=None,
+                        help="bulk-analytics job count "
+                             "(default 1; 4 under fig08a)")
     parser.add_argument("--nodes", type=int, default=None,
                         help="node count (default: 2, or 3 under ext_faults)")
     parser.add_argument("--workers", type=int, default=2,
@@ -428,16 +436,25 @@ def trace_main(argv: list[str]) -> int:
     parser.add_argument("--precision", type=int, default=3)
     args = parser.parse_args(argv)
 
+    if args.backend == "mp" and args.scenario in ("ext_checkpoint",
+                                                  "ext_partition"):
+        print(f"trace: scenario {args.scenario!r} has no mp realization "
+              "(checkpointed recovery and partitions are sim-only); "
+              "use mix, fig08a or ext_faults with --backend mp",
+              file=sys.stderr)
+        return 2
+
     overrides = {
         "record_trace": True,
         "trace_sample_interval": args.sample_interval,
         "shed_expired": args.shed,
     }
     nodes = args.nodes
+    fault_schedule = None
     if args.scenario == "ext_faults":
         from repro.experiments.ext_faults import make_fault_schedule
 
-        overrides["fault_schedule"] = make_fault_schedule(args.duration)
+        fault_schedule = make_fault_schedule(args.duration)
         nodes = 3 if nodes is None else nodes
     elif args.scenario == "ext_checkpoint":
         from repro.experiments.ext_checkpoint import (
@@ -456,12 +473,49 @@ def trace_main(argv: list[str]) -> int:
         overrides["partition_failover"] = "quorum"
         nodes = 3 if nodes is None else nodes
     nodes = 2 if nodes is None else nodes
-    mix = TenantMix(ls_count=args.ls, ba_count=args.ba)
-    engine = run_tenant_mix(
-        args.scheduler, mix, duration=args.duration, nodes=nodes,
-        workers_per_node=args.workers, seed=args.seed,
-        config_overrides=overrides,
-    )
+    if args.scenario == "fig08a":
+        # the Fig. 8a operating point: 4 LS + 4 BA tenants, BA driven hard
+        ls_count = 4 if args.ls is None else args.ls
+        ba_count = 4 if args.ba is None else args.ba
+        mix = TenantMix(ls_count=ls_count, ba_count=ba_count,
+                        ba_msg_rate=20.0)
+    else:
+        mix = TenantMix(ls_count=2 if args.ls is None else args.ls,
+                        ba_count=1 if args.ba is None else args.ba)
+
+    if args.backend == "mp":
+        # the mp realization of the scenario: same jobs and drivers, real
+        # worker processes.  Built by hand (not run_tenant_mix) because
+        # crash windows become hard SIGKILLs scheduled on the engine, and
+        # losses become mp_loss_rate (see experiments/ext_faults.py).
+        from repro.runtime.config import EngineConfig
+        from repro.runtime.engine import make_engine
+
+        overrides["backend"] = "mp"
+        overrides["mp_telemetry_interval"] = max(args.sample_interval, 0.01)
+        if fault_schedule is not None and fault_schedule.losses:
+            overrides["mp_loss_rate"] = max(
+                entry.rate for entry in fault_schedule.losses
+            )
+        config = EngineConfig(
+            scheduler=args.scheduler, nodes=nodes,
+            workers_per_node=args.workers, seed=args.seed, **overrides,
+        )
+        jobs = mix.build_jobs()
+        engine = make_engine(config, jobs)
+        mix.install_drivers(engine, jobs, args.duration)
+        if fault_schedule is not None:
+            for crash in fault_schedule.crashes:
+                engine.kill_at(crash.node, crash.start)
+        engine.run(until=args.duration + 5.0)
+    else:
+        if fault_schedule is not None:
+            overrides["fault_schedule"] = fault_schedule
+        engine = run_tenant_mix(
+            args.scheduler, mix, duration=args.duration, nodes=nodes,
+            workers_per_node=args.workers, seed=args.seed,
+            config_overrides=overrides,
+        )
 
     directory = pathlib.Path(args.out)
     directory.mkdir(parents=True, exist_ok=True)
@@ -469,7 +523,8 @@ def trace_main(argv: list[str]) -> int:
     chrome_path = directory / f"trace_{label}.json"
     jsonl_path = directory / f"trace_{label}.jsonl"
     payload = write_chrome_trace(
-        chrome_path, engine.tracer, engine.fault_timeline, label=label
+        chrome_path, engine.tracer, engine.fault_timeline, label=label,
+        process_map=getattr(engine, "process_map", None),
     )
     problems = validate_chrome_trace(payload)
     if problems:  # defensive: the exporter should never emit these
@@ -477,18 +532,28 @@ def trace_main(argv: list[str]) -> int:
             print(f"schema: {problem}", file=sys.stderr)
         return 1
     jsonl_path.write_text(jsonl_events(
-        engine.tracer, engine.fault_timeline, label=label
+        engine.tracer, engine.fault_timeline, label=label,
+        telemetry=getattr(engine, "telemetry", None),
     ))
     summary = {
         "scenario": args.scenario,
         "scheduler": args.scheduler,
+        "backend": args.backend,
         "chrome_trace": str(chrome_path),
         "jsonl_log": str(jsonl_path),
         "trace": engine.tracer.summary(),
         "retransmit_backoff_time": engine.metrics.retransmit_backoff_time,
     }
-    if engine.reliable is not None:
-        summary["backoff_by_channel"] = engine.reliable.backoff_by_channel()
+    reliable = getattr(engine, "reliable", None)
+    if reliable is not None:
+        summary["backoff_by_channel"] = reliable.backoff_by_channel()
+    clock = getattr(engine, "clock", None)
+    if clock is not None:
+        summary["clock_skew_bound"] = clock.skew_bound
+        summary["worker_pids"] = dict(clock.pids)
+    telemetry = getattr(engine, "telemetry", None)
+    if telemetry is not None:
+        summary["telemetry"] = telemetry.summary()
     print(json.dumps(summary, indent=2, sort_keys=True))
     if args.attribution:
         report = attribute(engine.tracer, engine.metrics)

@@ -139,3 +139,16 @@ def reset_message_ids() -> None:
     """Restart the global message-id counter (test isolation helper)."""
     global _message_ids
     _message_ids = itertools.count()
+
+
+def stride_message_ids(node_id: int) -> None:
+    """Move this process's id counter into a per-node block.
+
+    Forked mp workers inherit the parent's counter position, so without
+    this two workers would mint colliding ``msg_id`` values for distinct
+    messages — harmless to delivery (channels dedupe by ``seq``), fatal
+    to anything keyed on message identity across processes (the span
+    merger).  A 2^40 stride leaves each worker a trillion ids and stays
+    comfortably inside the wire format's i64."""
+    global _message_ids
+    _message_ids = itertools.count((node_id + 1) << 40)

@@ -18,11 +18,20 @@ The ``repro.obs`` package turns the simulator into a debuggable system
   every missed output's causal chain and report the "slack thief".
 * :mod:`repro.obs.export` — Chrome-trace (Perfetto) JSON and flat JSONL
   exporters.
-* :mod:`repro.obs.schema` — a minimal Chrome-trace structural validator
-  (the CI smoke check).
+* :mod:`repro.obs.schema` — minimal structural validators of both export
+  formats (the CI smoke check).
+* :mod:`repro.obs.merge` — cross-process span assembly of the mp
+  backend: :class:`~repro.obs.merge.SpanMerger` folds per-worker span
+  parts into whole spans, :class:`~repro.obs.merge.ClockSync` reconciles
+  per-worker monotonic clocks.
+* :mod:`repro.obs.telemetry` — the mp worker telemetry bus:
+  struct-packed :class:`~repro.obs.telemetry.TelemetrySample` records
+  folded into a :class:`~repro.obs.telemetry.TelemetryLog` time series
+  (the sensor substrate for autoscaling experiments).
 
 Enable with ``EngineConfig(record_trace=True)`` or run
-``python -m repro.cli trace <experiment>``.
+``python -m repro.cli trace <experiment>`` (``--backend mp`` for real
+worker processes).
 """
 
 from repro.obs.attribution import (
@@ -34,9 +43,16 @@ from repro.obs.attribution import (
 )
 from repro.obs.export import chrome_trace, jsonl_events, write_chrome_trace
 from repro.obs.introspect import SchedulerSampler
-from repro.obs.recorder import NULL_RECORDER, NullRecorder, TraceRecorder
-from repro.obs.schema import validate_chrome_trace
+from repro.obs.merge import ClockSync, SpanMerger
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    MpSpanRecorder,
+    NullRecorder,
+    TraceRecorder,
+)
+from repro.obs.schema import validate_chrome_trace, validate_jsonl_trace
 from repro.obs.spans import MessageSpan, SchedSample
+from repro.obs.telemetry import TelemetryLog, TelemetrySample
 
 __all__ = [
     "MessageSpan",
@@ -44,6 +60,11 @@ __all__ = [
     "NullRecorder",
     "NULL_RECORDER",
     "TraceRecorder",
+    "MpSpanRecorder",
+    "SpanMerger",
+    "ClockSync",
+    "TelemetryLog",
+    "TelemetrySample",
     "SchedulerSampler",
     "attribute",
     "causal_chain",
@@ -54,4 +75,5 @@ __all__ = [
     "jsonl_events",
     "write_chrome_trace",
     "validate_chrome_trace",
+    "validate_jsonl_trace",
 ]

@@ -53,12 +53,28 @@ def _span_args(span: MessageSpan) -> dict:
     return args
 
 
-def chrome_trace(recorder, fault_timeline=None, label: str = "repro") -> dict:
-    """Build the Chrome-trace JSON object for one traced run."""
+def chrome_trace(recorder, fault_timeline=None, label: str = "repro",
+                 process_map: dict | None = None) -> dict:
+    """Build the Chrome-trace JSON object for one traced run.
+
+    ``process_map`` (mp backend) maps node ids to ``{"pid": ..., "name":
+    ...}`` so trace processes carry the *real* worker pids; ``None`` (sim)
+    keeps the synthetic ``pid = node`` mapping and stays byte-identical
+    to earlier revisions."""
     events: list[dict] = []
     seen_nodes: set[int] = set()
     seen_threads: set[tuple[int, int]] = set()
     spans = recorder.spans
+
+    def pid_of(node: int) -> int:
+        if process_map is not None and node in process_map:
+            return process_map[node]["pid"]
+        return node
+
+    def pname(node: int) -> str:
+        if process_map is not None and node in process_map:
+            return process_map[node]["name"]
+        return f"node {node}"
 
     for span in spans.values():
         started, finished = span.started, span.finished
@@ -67,18 +83,18 @@ def chrome_trace(recorder, fault_timeline=None, label: str = "repro") -> dict:
             if node not in seen_nodes:
                 seen_nodes.add(node)
                 events.append({
-                    "ph": "M", "name": "process_name", "pid": node, "tid": 0,
-                    "args": {"name": f"node {node}"},
+                    "ph": "M", "name": "process_name", "pid": pid_of(node),
+                    "tid": 0, "args": {"name": pname(node)},
                 })
             if (node, worker) not in seen_threads:
                 seen_threads.add((node, worker))
                 events.append({
-                    "ph": "M", "name": "thread_name", "pid": node,
+                    "ph": "M", "name": "thread_name", "pid": pid_of(node),
                     "tid": worker, "args": {"name": f"worker {worker}"},
                 })
             events.append({
                 "ph": "X", "name": f"{span.job}/{span.stage}", "cat": "exec",
-                "pid": node, "tid": worker,
+                "pid": pid_of(node), "tid": worker,
                 "ts": started * _US, "dur": (finished - started) * _US,
                 "args": _span_args(span),
             })
@@ -88,37 +104,39 @@ def chrome_trace(recorder, fault_timeline=None, label: str = "repro") -> dict:
                 # flow arrow: parent completion -> this execution start
                 events.append({
                     "ph": "s", "name": "msg", "cat": "flow", "id": span.msg_id,
-                    "pid": parent.node_id, "tid": parent.worker,
+                    "pid": pid_of(parent.node_id), "tid": parent.worker,
                     "ts": parent.finished * _US,
                 })
                 events.append({
                     "ph": "f", "bp": "e", "name": "msg", "cat": "flow",
-                    "id": span.msg_id, "pid": node, "tid": worker,
+                    "id": span.msg_id, "pid": pid_of(node), "tid": worker,
                     "ts": started * _US,
                 })
         elif span.outcome == SHED:
             events.append({
                 "ph": "i", "name": f"shed {span.job}/{span.stage}",
-                "cat": "shed", "s": "g", "pid": max(span.node_id, 0), "tid": 0,
+                "cat": "shed", "s": "g",
+                "pid": pid_of(max(span.node_id, 0)), "tid": 0,
                 "ts": _finite(span.finished) * _US,
                 "args": {"msg_id": span.msg_id, "tuples": span.tuples},
             })
 
     for sample in recorder.samples:
         ts = sample.time * _US
-        pid = sample.node_id
+        node = sample.node_id
+        pid = pid_of(node)
         events.append({
-            "ph": "C", "name": f"node {pid} run queue", "pid": pid, "tid": 0,
+            "ph": "C", "name": f"node {node} run queue", "pid": pid, "tid": 0,
             "ts": ts, "args": {"depth": sample.depth,
                                "busy_workers": sample.busy_workers},
         })
         events.append({
-            "ph": "C", "name": f"node {pid} quantum util", "pid": pid,
+            "ph": "C", "name": f"node {node} quantum util", "pid": pid,
             "tid": 0, "ts": ts,
             "args": {"utilization": sample.quantum_utilization},
         })
         events.append({
-            "ph": "C", "name": f"node {pid} state", "pid": pid,
+            "ph": "C", "name": f"node {node} state", "pid": pid,
             "tid": 0, "ts": ts,
             "args": {"state_bytes": sample.state_bytes,
                      "pending_windows": sample.pending_windows},
@@ -128,7 +146,7 @@ def chrome_trace(recorder, fault_timeline=None, label: str = "repro") -> dict:
         for time, kind, detail in fault_timeline.events:
             events.append({
                 "ph": "i", "name": kind, "cat": "fault", "s": "g",
-                "pid": 0, "tid": 0, "ts": time * _US,
+                "pid": pid_of(0), "tid": 0, "ts": time * _US,
                 "args": {"detail": detail},
             })
 
@@ -170,8 +188,14 @@ def span_record(span: MessageSpan) -> dict:
     return record
 
 
-def jsonl_events(recorder, fault_timeline=None, label: str = "repro") -> str:
-    """The flat JSONL event log (one JSON object per line)."""
+def jsonl_events(recorder, fault_timeline=None, label: str = "repro",
+                 telemetry=None) -> str:
+    """The flat JSONL event log (one JSON object per line).
+
+    ``telemetry`` (mp backend) is a
+    :class:`~repro.obs.telemetry.TelemetryLog`; its samples append as
+    ``type: "telemetry"`` lines.  ``None`` (sim) adds nothing, so sim
+    logs stay byte-identical to earlier revisions."""
     lines = [json.dumps(
         {"type": "meta", "source": label, **recorder.summary()},
         sort_keys=True,
@@ -189,13 +213,20 @@ def jsonl_events(recorder, fault_timeline=None, label: str = "repro") -> str:
                  "detail": detail},
                 sort_keys=True,
             ))
+    if telemetry is not None:
+        for record in telemetry.as_dicts():
+            lines.append(json.dumps(
+                {"type": "telemetry", **record}, sort_keys=True
+            ))
     return "\n".join(lines) + "\n"
 
 
 def write_chrome_trace(path, recorder, fault_timeline=None,
-                       label: str = "repro") -> dict:
+                       label: str = "repro",
+                       process_map: dict | None = None) -> dict:
     """Serialize :func:`chrome_trace` to ``path``; returns the payload."""
-    payload = chrome_trace(recorder, fault_timeline, label)
+    payload = chrome_trace(recorder, fault_timeline, label,
+                           process_map=process_map)
     with open(path, "w") as handle:
         json.dump(payload, handle, sort_keys=True, indent=1)
         handle.write("\n")

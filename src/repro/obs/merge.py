@@ -1,0 +1,205 @@
+"""Cross-process span assembly for the mp backend.
+
+On the sim backend one :class:`~repro.obs.recorder.TraceRecorder` sees a
+message's whole life.  On the mp backend a hop is witnessed by (at least)
+two processes: the *sender* records ``sent`` and the wire attempts, the
+*receiver* records admission, queueing and execution.  Each worker keeps
+its own partial span and periodically flushes the dirty ones to the
+coordinator as ``TRACE`` frames of *span parts* — flat tuples in
+:data:`PART_FIELDS` order (exactly ``MessageSpan.__slots__``), cumulative
+per ``(msg_id, origin node)`` so a later part supersedes an earlier one.
+
+:class:`SpanMerger` folds the parts into whole
+:class:`~repro.obs.spans.MessageSpan` records inside a plain
+``TraceRecorder``, so every downstream tool (Perfetto/JSONL exporters,
+schema validation, deadline-miss attribution) runs unchanged:
+
+* instants witnessed once take the witnessing part's value; instants both
+  sides could see fold as min (``sent``, ``first_admit``) or max
+  (``admitted``, ``started``, ``finished``, ``replied``, ``last_tx``);
+* sender-side counters (``backoff``, ``transmits``, ``retransmits``)
+  *sum* over per-node latest parts;
+* receiver-side accumulators (``wait``/``exec``/``attempts``) come from
+  the *decisive* part only: when a fail-over re-executes a hop on a
+  survivor, the casualty's partial work lives inside the recovery window
+  (``admitted - first_admit``) — summing both incarnations would count
+  it twice against the telescoped total;
+* the outcome comes from the part that finished last, so a replayed
+  copy's ``executed`` naturally supersedes a casualty's ``lost_crash``;
+* ``parent`` comes from the part that witnessed the send (a receiver
+  stub reports -1 and never overrides a sender's link).
+
+Clock reconciliation: every timestamp in a part is on its worker's clock
+(``time.monotonic() - epoch``).  :class:`ClockSync` holds the per-worker
+offsets measured by the coordinator's CLOCK/CLOCK_ACK exchange at the
+startup barrier — an NTP-style probe: record ``t0``, ping, record ``t1``,
+estimate ``offset = reading - (t0 + t1) / 2`` with uncertainty
+``(t1 - t0) / 2``, keep the minimum-RTT round of several.  The merger
+maps every instant onto the coordinator's axis by subtracting the origin
+worker's offset, so the telescoping identity (finished - sent = network
++ recovery + queueing + execution) holds across process boundaries and
+any residual cross-clock error is bounded by :attr:`ClockSync.skew_bound`
+(forked workers share CLOCK_MONOTONIC on Linux, so the measured bound is
+typically a few microseconds of RTT jitter — but the machinery is honest
+and would hold across hosts).
+"""
+
+from __future__ import annotations
+
+from math import isnan
+
+from repro.obs.recorder import TraceRecorder
+from repro.obs.spans import (
+    LOST_CRASH,
+    PART_FIELDS,
+    PENDING,
+    MessageSpan,
+    span_to_part,
+)
+
+_NAN = float("nan")
+
+__all__ = ["PART_FIELDS", "span_to_part", "ClockSync", "SpanMerger"]
+
+#: fields that are *instants* on the origin worker's clock (offset-adjusted)
+_TIME_FIELDS = ("sent", "first_admit", "admitted", "started", "finished",
+                "last_tx", "replied")
+#: sender-side counters that accumulate across the hop's witnesses
+_SUM_FIELDS = ("backoff", "transmits", "retransmits")
+#: receiver-side accumulators taken from the decisive part (see module doc)
+_DECISIVE_FIELDS = ("wait", "exec", "attempts")
+
+class ClockSync:
+    """Per-worker clock offsets measured at the startup barrier."""
+
+    def __init__(self, offsets: dict[int, float],
+                 uncertainties: dict[int, float], pids: dict[int, int]):
+        self.offsets = offsets
+        self.uncertainties = uncertainties
+        self.pids = pids
+
+    @property
+    def skew_bound(self) -> float:
+        """Worst-case residual error between any two adjusted instants:
+        each side's reading is off by at most its round-trip half-width."""
+        if not self.uncertainties:
+            return 0.0
+        return 2.0 * max(self.uncertainties.values())
+
+    def adjust(self, node_id: int, instant: float) -> float:
+        """Map a worker-clock instant onto the coordinator's axis."""
+        if instant != instant:  # NaN stays NaN
+            return instant
+        return instant - self.offsets.get(node_id, 0.0)
+
+    def as_dict(self) -> dict:
+        return {
+            "offsets": dict(self.offsets),
+            "uncertainties": dict(self.uncertainties),
+            "pids": dict(self.pids),
+            "skew_bound": self.skew_bound,
+        }
+
+
+class SpanMerger:
+    """Folds per-worker span parts into whole spans.
+
+    ``add_parts`` is called as ``TRACE`` frames arrive; parts are keyed by
+    ``(msg_id, origin node)`` with latest-wins (each part is cumulative
+    for its origin).  ``build`` runs the fold and returns a filled
+    :class:`~repro.obs.recorder.TraceRecorder`."""
+
+    def __init__(self, clock: ClockSync | None = None):
+        self._clock = clock
+        #: msg_id -> {origin node -> latest part tuple}
+        self._parts: dict[int, dict[int, tuple]] = {}
+        self.part_count = 0
+
+    def add_parts(self, origin_node: int, parts: list[tuple]) -> None:
+        for part in parts:
+            self.part_count += 1
+            self._parts.setdefault(part[0], {})[origin_node] = part
+
+    def _adjust(self, node_id: int, instant: float) -> float:
+        if self._clock is None:
+            return instant
+        return self._clock.adjust(node_id, instant)
+
+    def _merge_one(self, msg_id: int, by_node: dict[int, tuple]) -> MessageSpan:
+        records = []
+        for origin in sorted(by_node):
+            rec = dict(zip(PART_FIELDS, by_node[origin]))
+            for name in _TIME_FIELDS:
+                rec[name] = self._adjust(origin, rec[name])
+            records.append(rec)
+
+        first = records[0]
+        span = MessageSpan(msg_id, -1, first["job"], first["stage"],
+                           first["index"], _NAN)
+
+        def fold(name: str, pick) -> float:
+            values = [r[name] for r in records if not isnan(r[name])]
+            return pick(values) if values else _NAN
+
+        span.sent = fold("sent", min)
+        span.first_admit = fold("first_admit", min)
+        span.admitted = fold("admitted", max)
+        span.started = fold("started", max)
+        span.finished = fold("finished", max)
+        span.replied = fold("replied", max)
+        span.last_tx = fold("last_tx", max)
+        for name in _SUM_FIELDS:
+            setattr(span, name, sum(r[name] for r in records))
+        span.tuples = max(r["tuples"] for r in records)
+        span.pri_global = fold("pri_global", max)
+        span.deadline = fold("deadline", max)
+
+        # the send witness owns the causal link (receiver stubs carry -1)
+        for rec in records:
+            if not isnan(rec["sent"]):
+                span.parent = rec["parent"]
+                break
+
+        # outcome / placement from the decisive (latest-finishing) part;
+        # a replay that finished later supersedes a lost_crash casualty
+        decisive = None
+        for rec in records:
+            if rec["outcome"] == PENDING:
+                continue
+            if (
+                decisive is None
+                or isnan(decisive["finished"])
+                or (not isnan(rec["finished"])
+                    and rec["finished"] > decisive["finished"])
+                or (decisive["outcome"] == LOST_CRASH
+                    and rec["outcome"] != LOST_CRASH)
+            ):
+                decisive = rec
+        if decisive is None:
+            # still pending: take placement from whoever admitted it
+            for rec in records:
+                if rec["node_id"] >= 0:
+                    decisive = rec
+                    break
+        if decisive is not None:
+            span.node_id = decisive["node_id"]
+            span.worker = decisive["worker"]
+            span.outcome = decisive["outcome"]
+            span.latency = decisive["latency"]
+        source = decisive
+        if source is None:
+            # pending everywhere: the receiver part (if any) holds the
+            # only non-zero accumulators, and max picks it out
+            source = max(records, key=lambda r: (r["attempts"], r["wait"]))
+        for name in _DECISIVE_FIELDS:
+            setattr(span, name, source[name])
+        return span
+
+    def build(self) -> TraceRecorder:
+        recorder = TraceRecorder()
+        for msg_id in sorted(self._parts):
+            span = self._merge_one(msg_id, self._parts[msg_id])
+            recorder.spans[msg_id] = span
+            if span.outcome == LOST_CRASH:
+                recorder.lost_crash_events += 1
+        return recorder

@@ -38,6 +38,7 @@ from repro.obs.spans import (
     SHED,
     MessageSpan,
     SchedSample,
+    span_to_part,
 )
 
 _NAN = float("nan")
@@ -268,3 +269,89 @@ class TraceRecorder(NullRecorder):
             "priority_inversions": self.inversions,
             "lost_crash_events": self.lost_crash_events,
         }
+
+
+class MpSpanRecorder(TraceRecorder):
+    """Worker-local recorder of the mp backend (one per worker process).
+
+    Same hooks and accumulator semantics as :class:`TraceRecorder`, with
+    two differences imposed by process boundaries:
+
+    * a message admitted here but *sent* elsewhere has no local span yet —
+      ``on_admit`` creates a receiver stub (``sent``/``parent`` unknown,
+      left NaN/-1; the coordinator's
+      :class:`~repro.obs.merge.SpanMerger` folds the sender's witness in);
+    * every mutation marks the span dirty, and :meth:`drain_parts` flushes
+      the dirty set as flat wire tuples for a ``TRACE`` frame (cumulative:
+      a span that keeps evolving is simply re-sent and the latest part
+      wins per origin).  The spans themselves are retained for the run's
+      lifetime — the same memory behaviour as the sim recorder.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._dirty: set[int] = set()
+
+    def _stub(self, msg) -> None:
+        target = msg.target
+        span = MessageSpan(msg.msg_id, -1, target.job, target.stage,
+                           target.index, _NAN)
+        pc = msg.pc
+        if pc is not None:
+            span.pri_global = pc.pri_global
+            span.deadline = pc.deadline
+        span.tuples = msg.tuple_count
+        self.spans[msg.msg_id] = span
+
+    def on_send(self, msg, parent_id: int, now: float) -> None:
+        super().on_send(msg, parent_id, now)
+        self._dirty.add(msg.msg_id)
+
+    def on_transmit(self, msg, now: float) -> None:
+        super().on_transmit(msg, now)
+        self._dirty.add(msg.msg_id)
+
+    def on_retransmit(self, msg, now: float) -> None:
+        super().on_retransmit(msg, now)
+        self._dirty.add(msg.msg_id)
+
+    def on_admit(self, msg, now: float) -> None:
+        if msg.msg_id not in self.spans:
+            self._stub(msg)
+        super().on_admit(msg, now)
+        self._dirty.add(msg.msg_id)
+
+    def on_start(self, msg, op_rt, worker_id: int, now: float,
+                 wait: float, cost: float, run_queue=None) -> None:
+        super().on_start(msg, op_rt, worker_id, now, wait, cost, run_queue)
+        self._dirty.add(msg.msg_id)
+
+    def on_execute_end(self, msg, now: float, cost: float,
+                       final: bool = True) -> None:
+        super().on_execute_end(msg, now, cost, final)
+        self._dirty.add(msg.msg_id)
+
+    def on_output(self, msg, now: float, latency: float) -> None:
+        super().on_output(msg, now, latency)
+        self._dirty.add(msg.msg_id)
+
+    def on_shed(self, msg, op_rt, now: float) -> None:
+        super().on_shed(msg, op_rt, now)
+        self._dirty.add(msg.msg_id)
+
+    def on_poison(self, msg, now: float, cost: float) -> None:
+        super().on_poison(msg, now, cost)
+        self._dirty.add(msg.msg_id)
+
+    def on_reply(self, msg, now: float) -> None:
+        super().on_reply(msg, now)
+        self._dirty.add(msg.msg_id)
+
+    def drain_parts(self) -> list[tuple]:
+        """Wire tuples of every span touched since the last drain."""
+        if not self._dirty:
+            return []
+        spans = self.spans
+        parts = [span_to_part(spans[msg_id]) for msg_id in sorted(self._dirty)]
+        self._dirty.clear()
+        return parts

@@ -7,7 +7,10 @@ tries to load it in Perfetto.  Usable as a library
 (:func:`validate_chrome_trace` returns a list of error strings) and as a
 command line tool::
 
-    PYTHONPATH=src python -m repro.obs.schema trace.json
+    PYTHONPATH=src python -m repro.obs.schema trace.json trace.jsonl
+
+``.jsonl`` paths are validated as the flat event log
+(:func:`validate_jsonl_trace`); everything else as Chrome-trace JSON.
 """
 
 from __future__ import annotations
@@ -82,6 +85,60 @@ def validate_chrome_trace(payload, max_errors: int = 20) -> list[str]:
     return errors
 
 
+#: line types the JSONL exporter emits, with their required keys
+_REQUIRED_BY_TYPE = {
+    "meta": ("source",),
+    "span": ("msg_id", "parent", "job", "stage", "index", "outcome",
+             "node", "worker", "wait", "exec", "attempts", "tuples"),
+    "sched_sample": ("time", "node", "depth"),
+    "fault": ("time", "kind", "detail"),
+    "telemetry": ("time", "node", "depth", "busy_frac",
+                  "outstanding_retransmits", "ingest_backlog",
+                  "state_bytes", "pending_windows", "messages_processed"),
+}
+
+
+def validate_jsonl_trace(text: str, max_errors: int = 20) -> list[str]:
+    """Structural check of the flat JSONL event log.
+
+    Returns a list of human-readable problems (empty = valid)."""
+    errors: list[str] = []
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        return ["log is empty"]
+    for position, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {position}: not JSON ({exc.msg})")
+        else:
+            if not isinstance(record, dict):
+                errors.append(f"line {position}: not an object")
+            else:
+                kind = record.get("type")
+                required = _REQUIRED_BY_TYPE.get(kind)
+                if required is None:
+                    errors.append(
+                        f"line {position}: unexpected type {kind!r}"
+                    )
+                else:
+                    for key in required:
+                        if key not in record:
+                            errors.append(
+                                f"line {position} (type={kind}) missing {key!r}"
+                            )
+                            break
+        if len(errors) >= max_errors:
+            break
+    try:
+        first = json.loads(lines[0])
+    except json.JSONDecodeError:
+        first = None
+    if isinstance(first, dict) and first.get("type") != "meta":
+        errors.append("first line must be the 'meta' record")
+    return errors
+
+
 def main(argv: list[str] | None = None) -> int:
     paths = sys.argv[1:] if argv is None else argv
     if not paths:
@@ -90,16 +147,23 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     status = 0
     for path in paths:
-        with open(path) as handle:
-            payload = json.load(handle)
-        errors = validate_chrome_trace(payload)
+        if path.endswith(".jsonl"):
+            with open(path) as handle:
+                text = handle.read()
+            errors = validate_jsonl_trace(text)
+            count = len([line for line in text.splitlines() if line.strip()])
+        else:
+            with open(path) as handle:
+                payload = json.load(handle)
+            errors = validate_chrome_trace(payload)
+            count = len(payload.get("traceEvents", [])) \
+                if isinstance(payload, dict) else 0
         if errors:
             status = 1
             print(f"{path}: INVALID")
             for problem in errors:
                 print(f"  - {problem}")
         else:
-            count = len(payload["traceEvents"])
             print(f"{path}: ok ({count} events)")
     return status
 

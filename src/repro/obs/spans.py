@@ -115,6 +115,16 @@ class MessageSpan:
         )
 
 
+#: wire layout of one mp-backend span part (see :mod:`repro.obs.merge`):
+#: a worker flushes its partial span as a flat tuple in slot order
+PART_FIELDS = MessageSpan.__slots__
+
+
+def span_to_part(span: MessageSpan) -> tuple:
+    """Flatten a worker-local span into its ``TRACE``-frame wire tuple."""
+    return tuple(getattr(span, name) for name in PART_FIELDS)
+
+
 class SchedSample:
     """One periodic scheduler-introspection sample for one node."""
 

@@ -170,6 +170,16 @@ class EngineConfig:
             absorb (throughput benchmarking).
         mp_wall_timeout: hard wall-clock cap (seconds) on an mp run;
             ``None`` derives a generous default from the run duration.
+        mp_telemetry: enable the mp worker telemetry bus — each worker
+            periodically samples run-queue depth, head priority, busy
+            fraction, outstanding retransmits, ingest backlog and state
+            size into ``TELEMETRY`` frames the coordinator folds into a
+            :class:`~repro.obs.telemetry.TelemetryLog`.  ``None``
+            (default) follows ``record_trace``; an explicit bool
+            overrides (telemetry without spans, or spans without
+            telemetry).
+        mp_telemetry_interval: sampling cadence of the telemetry bus
+            (wall-clock seconds).
     """
 
     scheduler: str = "cameo"
@@ -214,6 +224,8 @@ class EngineConfig:
     mp_loss_rate: float = 0.0
     mp_realtime: bool = True
     mp_wall_timeout: Optional[float] = None
+    mp_telemetry: Optional[bool] = None
+    mp_telemetry_interval: float = 0.1
     seed: int = 0
 
     def __post_init__(self):
@@ -236,6 +248,8 @@ class EngineConfig:
             raise ValueError("mp loss rate must be within [0, 1)")
         if self.mp_wall_timeout is not None and self.mp_wall_timeout <= 0:
             raise ValueError("mp wall timeout must be positive")
+        if self.mp_telemetry_interval <= 0:
+            raise ValueError("mp telemetry interval must be positive")
         if self.policy not in POLICIES:
             raise ValueError(f"unknown policy {self.policy!r}; expected {POLICIES}")
         if self.nodes < 1 or self.workers_per_node < 1:
@@ -306,6 +320,13 @@ class EngineConfig:
         if self.generate_contexts is not None:
             return self.generate_contexts
         return self.scheduler == "cameo"
+
+    @property
+    def mp_telemetry_enabled(self) -> bool:
+        """Whether the mp telemetry bus runs (see ``mp_telemetry``)."""
+        if self.mp_telemetry is not None:
+            return self.mp_telemetry
+        return self.record_trace
 
     @property
     def total_workers(self) -> int:

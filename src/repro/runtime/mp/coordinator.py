@@ -55,6 +55,8 @@ from repro.metrics.collectors import MetricsHub
 from repro.runtime.mp.frames import (
     CAL_DONE,
     CALIBRATE,
+    CLOCK,
+    CLOCK_ACK,
     HB,
     INGEST,
     READY,
@@ -63,6 +65,8 @@ from repro.runtime.mp.frames import (
     REWIRE,
     START,
     STOP,
+    TELEMETRY,
+    TRACE,
     recv_frame,
     send_frame,
 )
@@ -75,6 +79,8 @@ from repro.runtime.topology import client_key
 _INGEST_CHUNK = 256
 #: paced replay sends entries up to this far ahead of the wall clock
 _LOOKAHEAD = 0.05
+#: CLOCK/CLOCK_ACK rounds per worker (the min-RTT round wins)
+_CLOCK_ROUNDS = 5
 
 
 def merge_job_metrics(into, other) -> None:
@@ -156,6 +162,16 @@ class MpCoordinator:
         #: sequenced trace: (trace_time, entry) pairs + final seq per source
         self._timed, self._last_seq = sequence_trace(trace)
         self.info: dict = {}
+        # observability plane (populated only when the knobs are on)
+        self._record_trace = config.record_trace
+        self._telemetry_on = config.mp_telemetry_enabled
+        self._merger = None
+        #: merged TraceRecorder after the run (record_trace only)
+        self.tracer = None
+        #: folded TelemetryLog after the run (telemetry bus only)
+        self.telemetry = None
+        #: ClockSync from the startup CLOCK exchange (obs plane only)
+        self.clock = None
 
     def _initial_placement(self) -> dict:
         """Replicate the builder's placement (pure function of config)."""
@@ -279,6 +295,14 @@ class MpCoordinator:
                     assert kind == CAL_DONE
                     spin_rates[payload[0]] = payload[1]
 
+        # clock-sync exchange (observability plane only): NTP-style
+        # offset estimation per worker, so worker-local monotonic
+        # timestamps can be reconciled onto the coordinator clock.  Runs
+        # between the calibration barrier and the epoch broadcast so the
+        # untraced frame sequence is byte-identical when the plane is off.
+        if self._record_trace or self._telemetry_on:
+            self._sync_clocks(conns)
+
         epoch = time.monotonic()
         for conn in conns:
             send_frame(conn, START, epoch)
@@ -380,6 +404,13 @@ class MpCoordinator:
         metrics = self._merge(reports)
         metrics.crashes = crashes
         metrics.failure_detections.extend(fault_log)
+        if self._merger is not None:
+            self.tracer = self._merger.build()
+            if self.telemetry is not None:
+                # telemetry rides along as scheduler samples so Perfetto
+                # counter tracks appear without exporter changes
+                for sample in self.telemetry.to_sched_samples():
+                    self.tracer.add_sample(sample)
         self.info = {
             "wall_time": elapsed(),
             "workers": self._n,
@@ -393,9 +424,82 @@ class MpCoordinator:
                 stats["fifo_violations"] for _, stats in reports.values()
             ),
         }
+        if self.clock is not None:
+            self.info["clock"] = self.clock.as_dict()
+        if self._merger is not None:
+            self.info["trace_parts"] = self._merger.part_count
+        if self.telemetry is not None:
+            self.info["telemetry_samples"] = len(self.telemetry)
         return metrics
 
     # ------------------------------------------------------------------
+
+    def _sync_clocks(self, conns: list) -> None:
+        """NTP-style clock exchange with every worker (pre-START).
+
+        Each round records ``t0``, sends ``CLOCK``, and on ``CLOCK_ACK``
+        records ``t1``; the worker's reading is assumed to correspond to
+        the midpoint ``(t0 + t1) / 2``, so ``offset = reading - midpoint``
+        with uncertainty ``rtt / 2``.  The minimum-RTT round wins — its
+        midpoint assumption has the least room to be wrong.  Workers sit
+        in their pre-START frame loop, so the reply is immediate and RTTs
+        are tens of microseconds on local pipes."""
+        from repro.obs.merge import ClockSync, SpanMerger
+        from repro.obs.telemetry import TelemetryLog
+
+        offsets: dict[int, float] = {}
+        uncertainties: dict[int, float] = {}
+        pids: dict[int, int] = {}
+        for i, conn in enumerate(conns):
+            best_rtt = None
+            best_offset = 0.0
+            pid = -1
+            for _ in range(_CLOCK_ROUNDS):
+                t0 = time.monotonic()
+                send_frame(conn, CLOCK)
+                kind, payload = recv_frame(conn)
+                t1 = time.monotonic()
+                assert kind == CLOCK_ACK
+                node_id, pid, reading = payload
+                assert node_id == i
+                rtt = t1 - t0
+                if best_rtt is None or rtt < best_rtt:
+                    best_rtt = rtt
+                    best_offset = reading - (t0 + t1) / 2.0
+            offsets[i] = best_offset
+            uncertainties[i] = best_rtt / 2.0
+            pids[i] = pid
+        self.clock = ClockSync(offsets, uncertainties, pids)
+        if self._record_trace:
+            self._merger = SpanMerger(self.clock)
+        if self._telemetry_on:
+            self.telemetry = TelemetryLog()
+
+    def _fold_telemetry(self, payload) -> None:
+        """Unpack one TELEMETRY frame into the time-series log, moving
+        sample times onto the coordinator clock."""
+        if self.telemetry is None:
+            return
+        from repro.obs.telemetry import unpack_samples
+
+        node_id, blob = payload
+        samples = unpack_samples(blob)
+        offset = self.clock.offsets.get(node_id, 0.0) if self.clock else 0.0
+        if offset:
+            for sample in samples:
+                sample.time -= offset
+        self.telemetry.extend(samples)
+
+    def _absorb_obs(self, kind: str, payload) -> bool:
+        """Fold an observability frame; True when it was one."""
+        if kind == TRACE:
+            if self._merger is not None:
+                self._merger.add_parts(payload[0], payload[1])
+            return True
+        if kind == TELEMETRY:
+            self._fold_telemetry(payload)
+            return True
+        return False
 
     def _feed(self, pending: deque, ledger: dict, conns: list, alive: set,
               now: float, realtime: bool) -> None:
@@ -432,6 +536,8 @@ class MpCoordinator:
                     kind, payload = recv_frame(conn)
                 except (EOFError, OSError):
                     break
+                if self._absorb_obs(kind, payload):
+                    continue
                 if kind != HB:
                     continue  # stray frame (late REPORT after forced stop)
                 node_id, idle, ingest_acks, _processed = payload
@@ -500,6 +606,8 @@ class MpCoordinator:
                     for i in list(waiting):
                         if conns[i] is event:
                             waiting.discard(i)
+                    continue
+                if self._absorb_obs(kind, payload):
                     continue
                 if kind == REPORT:
                     node_id, hub, stats = payload

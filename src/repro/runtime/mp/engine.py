@@ -20,7 +20,14 @@ Runs the same two phases every mp run needs:
 After :meth:`run`, ``.metrics`` holds the merged
 :class:`~repro.metrics.collectors.MetricsHub` of every worker and
 ``.info`` the run's transport-level facts (wall time, per-worker stats,
-FIFO-audit counters, survivor set).
+FIFO-audit counters, survivor set).  With the observability plane on
+(``record_trace`` / ``mp_telemetry``), ``.tracer`` holds the merged
+cross-process :class:`~repro.obs.recorder.TraceRecorder`, ``.telemetry``
+the folded :class:`~repro.obs.telemetry.TelemetryLog`, ``.clock`` the
+:class:`~repro.obs.merge.ClockSync`, and ``.process_map`` real worker
+pids for the Perfetto exporter — the same downstream surface the sim
+engine exposes, so exporters, schema validation and attribution run
+unchanged.
 """
 
 from __future__ import annotations
@@ -54,6 +61,12 @@ class MpStreamEngine:
         self.rng = RngRegistry(config.seed)
         self.metrics: MetricsHub = MetricsHub()
         self.info: dict = {}
+        #: observability surface (None unless the obs plane is on)
+        self.tracer = None
+        self.telemetry = None
+        self.clock = None
+        self.process_map: dict | None = None
+        self.fault_timeline = None
         self._trace: list[tuple] = []
         self._kills: list[tuple[float, int]] = []
         self._rescales: list[tuple[float, str, str, int]] = []
@@ -123,3 +136,23 @@ class MpStreamEngine:
         )
         self.metrics = coordinator.run()
         self.info = coordinator.info
+        self.tracer = coordinator.tracer
+        self.telemetry = coordinator.telemetry
+        self.clock = coordinator.clock
+        if self.clock is not None:
+            self.process_map = {
+                node: {"pid": pid, "name": f"worker {node} (pid {pid})"}
+                for node, pid in self.clock.pids.items()
+            }
+        if self._kills:
+            from repro.sim.faults import FaultTimeline
+
+            timeline = FaultTimeline()
+            for when, node_id in sorted(self._kills):
+                timeline.record(when, "crash", f"node {node_id} killed")
+            for node_id, crash, detect in self.metrics.failure_detections:
+                timeline.record(
+                    detect, "failover",
+                    f"node {node_id} declared dead (crashed ~{crash:.3f}s)",
+                )
+            self.fault_timeline = timeline

@@ -35,6 +35,20 @@ INGEST     c -> w     list of ``(src_key, seq, trace_time, times, values,
                       keys, sorted)`` ingest entries (coordinator-replay
                       mode and fail-over shard replay)
 HB         w -> c     ``(node_id, idle, ingest_acks, processed_total)``
+CLOCK      c -> w     ``None`` — clock-sync probe; the worker answers
+                      immediately (sent between the calibration barrier
+                      and START, only when the obs plane is on)
+CLOCK_ACK  w -> c     ``(node_id, pid, monotonic_reading)`` — the NTP-style
+                      reply; several rounds yield per-worker clock offsets
+                      (min-RTT round wins) plus the real process ids the
+                      Perfetto exporter maps processes to
+TRACE      w -> c     ``(node_id, [span_part, ...])`` — batched span parts
+                      (:data:`repro.obs.merge.PART_FIELDS` tuples) flushed
+                      with heartbeats; cumulative, latest part wins per
+                      ``(msg_id, origin node)``
+TELEMETRY  w -> c     ``(node_id, packed_bytes)`` — struct-packed
+                      :class:`repro.obs.telemetry.TelemetrySample` records
+                      (the periodic worker telemetry bus)
 REWIRE     c -> w     ``({address: new_node_id}, dead_node_id)``
 RESCALE    c -> w     ``(job_name, stage_name, parallelism)`` — rescale a
                       key-partitioned stage (applied at the worker's next
@@ -89,6 +103,10 @@ START = "start"
 INGEST = "ingest"
 DATA = "data"
 HB = "hb"
+CLOCK = "clock"
+CLOCK_ACK = "clock_ack"
+TRACE = "trace"
+TELEMETRY = "telemetry"
 REWIRE = "rewire"
 RESCALE = "rescale"
 STOP = "stop"

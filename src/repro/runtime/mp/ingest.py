@@ -85,6 +85,12 @@ class IngestDriver:
     def exhausted(self) -> bool:
         return self._pos >= len(self._timed)
 
+    @property
+    def remaining(self) -> int:
+        """Undelivered entries left in the shard (the telemetry bus's
+        ingest-backlog sensor)."""
+        return len(self._timed) - self._pos
+
     def next_due(self) -> float | None:
         """Trace time of the next undelivered entry (None when done)."""
         if self._pos >= len(self._timed):

@@ -87,6 +87,12 @@ class MpReliableDelivery:
         self._ack_dirty: set[tuple] = set()
         #: admissions where seq != next_admit (must stay 0; see module doc)
         self.fifo_violations = 0
+        #: span recorder (None = tracing off: zero hot-path residue)
+        self._tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Install the worker's span recorder (observability plane)."""
+        self._tracer = tracer
 
     # ------------------------------------------------------------------
     # sender side
@@ -107,6 +113,8 @@ class MpReliableDelivery:
         state.unacked[msg.seq] = msg
         if state.deadline is None:
             state.deadline = self._clock() + state.rto
+        if self._tracer is not None:
+            self._tracer.on_transmit(msg, self._clock())
         return msg
 
     def on_ack(self, key: tuple, admitted: int, processed: int) -> None:
@@ -142,11 +150,17 @@ class MpReliableDelivery:
                 state.rto = self._rto_initial
                 state.deadline = None
                 continue
+            tracer = self._tracer
             for seq in range(state.admitted_w + 1, state.next_seq):
                 msg = state.unacked.get(seq)
                 if msg is not None:
                     state.retransmit_count += 1
                     self._metrics.retransmissions += 1
+                    if tracer is not None:
+                        # stall since the last wire attempt, then the
+                        # replay itself becomes the new last attempt
+                        tracer.on_retransmit(msg, now)
+                        tracer.on_transmit(msg, now)
                     replays.append(msg)
             state.rto = min(state.rto * 2.0, self._rto_cap)
             state.deadline = now + state.rto
@@ -289,6 +303,11 @@ class MpReliableDelivery:
             and all(not r.pending for r in self._receivers.values())
             and not self._ack_dirty
         )
+
+    def outstanding_total(self) -> int:
+        """Unacked in-flight messages across all sender channels (the
+        telemetry bus's retransmit-pressure sensor)."""
+        return sum(len(s.unacked) for s in self._senders.values())
 
     @property
     def channel_count(self) -> int:

@@ -64,6 +64,12 @@ class ProcessTransport:
         #: per-channel FIFO audit: (sender, target) -> last admitted seq
         self._audit: dict[tuple, int] = {}
         self.fifo_violations = 0
+        #: span recorder (None = tracing off: zero hot-path residue)
+        self._tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Install the worker's span recorder (observability plane)."""
+        self._tracer = tracer
 
     def attach_conns(self, conns: dict, codecs: dict | None = None) -> None:
         """Bind the peer connections (node_id -> Connection).
@@ -128,6 +134,9 @@ class ProcessTransport:
         )
         msg.seq = seq
         src_rt.job_metrics.tuples_ingested += count
+        if self._tracer is not None:
+            # ingested root: sent at the ingest instant, no parent
+            self._tracer.on_send(msg, -1, now)
         self.deliver(src_rt, msg)
 
     def note_source_processed(self, op_rt: OperatorRuntime, msg: Message) -> None:
@@ -178,6 +187,9 @@ class ProcessTransport:
         else:
             msg.enqueue_time = now
             op_rt.mailbox.push(msg)
+        if self._tracer is not None:
+            # same instant as enqueue_time, so wait = started - admitted
+            self._tracer.on_admit(msg, now)
         self._run_queue.notify(op_rt, now, None)
 
     def on_entries(self, entries: list) -> None:
@@ -245,6 +257,8 @@ class ProcessTransport:
             t=emission.arrival, deps_arrival=emission.arrival,
             sender=src_rt.address, pc=pc, channel_index=link[2],
         )
+        if self._tracer is not None:
+            self._tracer.on_send(out, trigger.msg_id, now)
         if dst_rt.node_id == self._node_id:
             # in-process call order preserves per-channel FIFO directly
             self.deliver(dst_rt, out)
@@ -268,6 +282,8 @@ class ProcessTransport:
         if enqueue_time == enqueue_time:  # not NaN
             rc.queueing_delay = max(0.0, self._clock() - enqueue_time)
         self._metrics.total_acks += 1
+        if self._tracer is not None:
+            self._tracer.on_reply(msg, self._clock())
         sender = msg.sender
         if isinstance(sender, tuple) and sender and sender[0] == "client":
             # the client converter that built this source's PCs lives in

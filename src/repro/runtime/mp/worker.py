@@ -30,6 +30,7 @@ message stays seed-stable, only its wall-clock duration is host-relative.
 
 from __future__ import annotations
 
+import os
 import pickle
 import time
 from dataclasses import replace
@@ -42,6 +43,8 @@ from repro.metrics.collectors import MetricsHub
 from repro.runtime.mp.frames import (
     CAL_DONE,
     CALIBRATE,
+    CLOCK,
+    CLOCK_ACK,
     DATA,
     DATA_MAGIC,
     HB,
@@ -52,6 +55,8 @@ from repro.runtime.mp.frames import (
     REWIRE,
     START,
     STOP,
+    TELEMETRY,
+    TRACE,
     DataCodec,
     recv_frame,
     send_frame,
@@ -191,6 +196,24 @@ class MpWorker:
         self._stage_rescales = 0
         self._keys_moved = 0
 
+        # observability plane (null-collaborator idiom: with tracing and
+        # telemetry off every field is None and the hot path sees only
+        # dead ``is None`` branches — obs modules are not even imported)
+        self._tracer = None
+        self._telemetry = None
+        self._tm_interval = None
+        self._tm_last_time = 0.0
+        self._tm_last_busy = 0.0
+        if config.record_trace:
+            from repro.obs.recorder import MpSpanRecorder
+
+            self._tracer = MpSpanRecorder()
+            self.transport.attach_tracer(self._tracer)
+            self._reliable.attach_tracer(self._tracer)
+        if config.mp_telemetry_enabled:
+            self._telemetry = []
+            self._tm_interval = config.mp_telemetry_interval
+
     def _now(self) -> float:
         return time.monotonic() - self._epoch
 
@@ -206,13 +229,20 @@ class MpWorker:
                 # every worker calibrates inside this barrier concurrently
                 self.spin_rate = calibrate_spin_rate()
                 send_frame(self._coord, CAL_DONE, (self._node_id, self.spin_rate))
+            elif kind == CLOCK:
+                # NTP-style clock probe (obs plane only): answer with the
+                # raw monotonic reading *immediately* — the coordinator
+                # brackets the round trip and keeps the min-RTT round
+                send_frame(self._coord, CLOCK_ACK,
+                           (self._node_id, os.getpid(), time.monotonic()))
             elif kind == START:
                 self._epoch = payload
                 break
             else:  # pragma: no cover - protocol guard
-                raise RuntimeError(f"expected CALIBRATE/START, got {kind}")
+                raise RuntimeError(f"expected CALIBRATE/CLOCK/START, got {kind}")
         interval = self._config.heartbeat_interval
         last_hb = self._now()
+        self._tm_last_time = last_hb
         ingest = self._ingest
         conns = [self._coord] + list(self._peers.values())
         while True:
@@ -230,6 +260,11 @@ class MpWorker:
             now = self._now()
             if self._stop:
                 break
+            if (
+                self._tm_interval is not None
+                and now - self._tm_last_time >= self._tm_interval
+            ):
+                self._sample_telemetry(now)
             if now - last_hb >= interval:
                 self._heartbeat(now)
                 last_hb = now
@@ -322,7 +357,67 @@ class MpWorker:
             self._stage_rescales += 1
         self._pending_rescales = remaining
 
+    def _sample_telemetry(self, now: float) -> None:
+        """One telemetry-bus reading (buffered; flushed with heartbeats)."""
+        from repro.obs.telemetry import TelemetrySample
+
+        elapsed = now - self._tm_last_time
+        busy_delta = self._busy_time - self._tm_last_busy
+        self._tm_last_time = now
+        self._tm_last_busy = self._busy_time
+        busy_frac = 0.0
+        if elapsed > 0:
+            # busy time books in lumps at completion, so clamp (same as
+            # the sim sampler's utilization clamp)
+            busy_frac = min(1.0, max(0.0, busy_delta / elapsed))
+        run_queue = self._run_queue
+        peek = getattr(run_queue, "peek_best_priority", None)
+        head = float("nan")
+        if peek is not None:
+            best = peek()
+            if best is not None:
+                head = best
+        state_bytes = 0
+        pending_windows = 0
+        node_id = self._node_id
+        for op_rt in self._ops.values():
+            if op_rt.node_id != node_id:
+                continue
+            store = op_rt.operator.state_store
+            if store is not None:
+                state_bytes += store.approx_size()
+                pending_windows += store.pending_window_count
+        ingest = self._ingest
+        self._telemetry.append(TelemetrySample(
+            now, node_id, run_queue.pending_operator_count(), head,
+            busy_frac, self._reliable.outstanding_total(),
+            0 if ingest is None else ingest.remaining,
+            state_bytes, pending_windows, self._messages,
+        ))
+
+    def _flush_obs(self) -> None:
+        """Ship dirty span parts and buffered telemetry to the coordinator."""
+        tracer = self._tracer
+        if tracer is not None:
+            parts = tracer.drain_parts()
+            if parts:
+                try:
+                    send_frame(self._coord, TRACE, (self._node_id, parts))
+                except (BrokenPipeError, OSError):
+                    pass
+        if self._telemetry:
+            from repro.obs.telemetry import pack_samples
+
+            try:
+                send_frame(self._coord, TELEMETRY,
+                           (self._node_id, pack_samples(self._telemetry)))
+            except (BrokenPipeError, OSError):
+                pass
+            self._telemetry.clear()
+
     def _heartbeat(self, now: float) -> None:
+        if self._tracer is not None or self._telemetry:
+            self._flush_obs()
         try:
             send_frame(self._coord, HB, (
                 self._node_id, self._idle(),
@@ -332,6 +427,11 @@ class MpWorker:
             self._stop = True  # the coordinator is gone: report and exit
 
     def _report(self) -> None:
+        if self._tm_interval is not None:
+            # one last reading so short runs still produce a series
+            self._sample_telemetry(self._now())
+        if self._tracer is not None or self._telemetry:
+            self._flush_obs()  # final drain: REPORT must come last
         self.metrics.record_worker_busy(self._node_id, 0, self._busy_time)
         stats = {
             "busy_time": self._busy_time,
@@ -371,8 +471,12 @@ class MpWorker:
                 capacity = self._capacity
                 if capacity is not None and len(mailbox) < capacity:
                     released = op_rt.blocked.popleft()
-                    released.enqueue_time = self._now()
+                    release_now = self._now()
+                    released.enqueue_time = release_now
                     mailbox.push(released)
+                    if self._tracer is not None:
+                        # back-pressure release is this message's admission
+                        self._tracer.on_admit(released, release_now)
             if shedder is not None:
                 pc = msg.pc
                 if pc is not None and shedder.should_shed(pc, self._now()):
@@ -383,6 +487,8 @@ class MpWorker:
                     job_metrics = op_rt.job_metrics
                     job_metrics.messages_shed += 1
                     job_metrics.tuples_shed += msg.tuple_count
+                    if self._tracer is not None:
+                        self._tracer.on_shed(msg, op_rt, self._now())
                     if op_rt.is_source:
                         self.transport.note_source_processed(op_rt, msg)
                     elif msg.seq != -1:
@@ -407,6 +513,7 @@ class MpWorker:
 
     def _execute(self, op_rt, msg) -> None:
         now = self._now()
+        tracer = self._tracer
         job_metrics = op_rt.job_metrics
         stage_name = op_rt.stage_name
         enqueue_time = msg.enqueue_time
@@ -426,6 +533,9 @@ class MpWorker:
             exec_stat = job_metrics.execution_stat(stage_name)
             op_rt.exec_stat = exec_stat
         exec_stat.add(cost)
+        if tracer is not None:
+            started = now
+            tracer.on_start(msg, op_rt, 0, now, wait, cost, self._run_queue)
         if cost > 0:
             if self._sleep_cost:
                 time.sleep(cost)
@@ -437,11 +547,20 @@ class MpWorker:
         job_metrics.messages_processed += 1
         self.metrics.total_messages += 1
         emissions = op_rt.operator.on_message(msg, now)
+        if tracer is not None:
+            # mp spans carry *realized* wall time (cost realization plus
+            # the operator's actual work), not the sampled cost the stats
+            # book — children are sent after ``finished``, so chains stay
+            # causal; see docs/observability.md "mp semantics"
+            end = self._now()
+            tracer.on_execute_end(msg, end, end - started)
         batch = msg.batch
         if op_rt.is_sink and batch is not None and len(batch) > 0:
             job_metrics.record_output(
                 now, now - msg.t, msg.tuple_count, float(batch.values.sum())
             )
+            if tracer is not None:
+                tracer.on_output(msg, now, now - msg.t)
         elif op_rt.is_source:
             count = msg.tuple_count
             job_metrics.tuples_processed += count
@@ -475,6 +594,10 @@ def worker_main(node_id: int, config, jobs: list, policy,
     instead of surfacing the failure."""
     for conn in unused_conns or ():
         conn.close()
+    # forked processes inherit the parent's message-id counter position;
+    # stride into a per-node block so cross-process identity is unambiguous
+    from repro.dataflow.messages import stride_message_ids
+    stride_message_ids(node_id)
     worker = MpWorker(node_id, config, jobs, policy=policy,
                       coord_conn=coord_conn, peer_conns=peer_conns,
                       shard=shard)
